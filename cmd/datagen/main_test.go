@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spatialrepart"
+)
+
+func TestRunWritesParseableGrid(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "g.csv")
+	if err := run("vehicles-uni", 12, 12, 3, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := spatialrepart.ReadGridCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Rows != 12 || g.Cols != 12 {
+		t.Errorf("grid %dx%d, want 12x12", g.Rows, g.Cols)
+	}
+	if g.ValidCount() == 0 {
+		t.Error("empty grid")
+	}
+}
+
+func TestRunAllDatasets(t *testing.T) {
+	dir := t.TempDir()
+	for _, n := range names {
+		if err := run(n, 8, 8, 1, filepath.Join(dir, n+".csv")); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+	}
+}
+
+func TestRunUnknownDataset(t *testing.T) {
+	if err := run("nope", 8, 8, 1, ""); err == nil {
+		t.Error("want unknown-dataset error")
+	}
+}

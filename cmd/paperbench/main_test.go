@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spatialrepart/internal/experiments"
+)
+
+func tinyConfig() experiments.Config {
+	return experiments.Config{
+		Seed:         3,
+		Sizes:        []experiments.GridSize{{Name: "t", Rows: 10, Cols: 10}},
+		ModelSize:    experiments.GridSize{Name: "t", Rows: 12, Cols: 12},
+		Thresholds:   []float64{0.1},
+		TestFraction: 0.2,
+		Classes:      3,
+		ClusterK:     3,
+		SVRMaxTrain:  200,
+		Repeats:      1,
+	}
+}
+
+func TestRunFastExperiments(t *testing.T) {
+	cfg := tinyConfig()
+	for _, exp := range []string{"fig5", "fig6", "table5", "ablation"} {
+		if err := run(exp, cfg); err != nil {
+			t.Errorf("%s: %v", exp, err)
+		}
+	}
+}
+
+func TestRunTable4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if err := run("table4", tinyConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("bogus", tinyConfig()); err == nil {
+		t.Error("want unknown-experiment error")
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	csvOut = dir
+	defer func() { csvOut = "" }()
+	if err := run("fig5", tinyConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("table5", tinyConfig()); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig5_fig6.csv", "table5.csv"} {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(b) == 0 {
+			t.Fatalf("%s is empty", name)
+		}
+	}
+}

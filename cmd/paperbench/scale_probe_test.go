@@ -1,0 +1,34 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"spatialrepart"
+	"spatialrepart/internal/datagen"
+)
+
+// TestPaperScaleProbe verifies the framework handles the paper's ≈100k-cell
+// grids in reasonable time (skipped in -short runs).
+func TestPaperScaleProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	ds := datagen.TaxiTripsUni(42, 315, 318)
+	start := time.Now()
+	rp, err := spatialrepart.Repartition(ds.Grid, spatialrepart.Options{
+		Threshold: 0.05, Schedule: spatialrepart.ScheduleGeometric,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	t.Logf("100k-cell repartition: %d -> %d groups (IFL %.4f) in %v",
+		ds.Grid.ValidCount(), rp.ValidGroups(), rp.IFL, elapsed)
+	if rp.IFL > 0.05 {
+		t.Errorf("IFL = %v", rp.IFL)
+	}
+	if elapsed > 2*time.Minute {
+		t.Errorf("paper-scale repartition took %v, want under 2 minutes", elapsed)
+	}
+}

@@ -1,0 +1,210 @@
+// Command repart re-partitions a spatial grid dataset stored as CSV (the
+// format produced by Grid.WriteCSV / cmd/datagen) at a given information-loss
+// threshold. It writes the reduced grid (every cell replaced by its group's
+// representative value, §III-C), and optionally the cell→group map, the
+// group adjacency list, the full partition as reloadable JSON, a GeoJSON
+// FeatureCollection of the cell-groups, and an ASCII rendering.
+//
+// Usage:
+//
+//	repart -in grid.csv -threshold 0.05 -out reduced.csv \
+//	       [-groups groups.csv] [-adjacency adj.csv] \
+//	       [-partition partition.json] \
+//	       [-geojson groups.geojson -bounds minLat,maxLat,minLon,maxLon] \
+//	       [-schedule exact|geometric] [-render] [-stats]
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"spatialrepart"
+	"spatialrepart/internal/render"
+)
+
+func main() {
+	in := flag.String("in", "", "input grid CSV (required)")
+	out := flag.String("out", "", "output CSV for the reconstructed reduced grid")
+	groupsOut := flag.String("groups", "", "output CSV for the cell-group map (group id, bounds, size)")
+	adjOut := flag.String("adjacency", "", "output CSV for the group adjacency list")
+	geoOut := flag.String("geojson", "", "output GeoJSON FeatureCollection of the cell-groups")
+	partOut := flag.String("partition", "", "output JSON with the full partition + features (loadable via ReadRepartitionJSON)")
+	threshold := flag.Float64("threshold", 0.05, "information-loss threshold θ ∈ [0,1]")
+	schedule := flag.String("schedule", "geometric", "iteration schedule: exact|geometric")
+	stats := flag.Bool("stats", true, "print summary statistics to stderr")
+	doRender := flag.Bool("render", false, "print an ASCII rendering of the partition to stdout")
+	bbox := flag.String("bounds", "0,1,0,1", "geographic bounds for -geojson as minLat,maxLat,minLon,maxLon")
+	flag.Parse()
+
+	if err := run(runConfig{
+		in: *in, out: *out, groupsOut: *groupsOut, adjOut: *adjOut, geoOut: *geoOut,
+		partOut: *partOut, threshold: *threshold, schedule: *schedule, stats: *stats,
+		render: *doRender, bbox: *bbox,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "repart:", err)
+		os.Exit(1)
+	}
+}
+
+// runConfig carries the parsed flags.
+type runConfig struct {
+	in, out, groupsOut, adjOut, geoOut, partOut string
+	threshold                                   float64
+	schedule                                    string
+	stats, render                               bool
+	bbox                                        string
+}
+
+func run(cfg runConfig) error {
+	in, out, groupsOut, adjOut := cfg.in, cfg.out, cfg.groupsOut, cfg.adjOut
+	threshold, schedule, stats := cfg.threshold, cfg.schedule, cfg.stats
+	if in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	g, err := spatialrepart.ReadGridCSV(f)
+	if err != nil {
+		return err
+	}
+
+	opts := spatialrepart.Options{Threshold: threshold}
+	switch schedule {
+	case "exact":
+		opts.Schedule = spatialrepart.ScheduleExact
+	case "geometric":
+		opts.Schedule = spatialrepart.ScheduleGeometric
+	default:
+		return fmt.Errorf("unknown schedule %q", schedule)
+	}
+
+	rp, err := spatialrepart.Repartition(g, opts)
+	if err != nil {
+		return err
+	}
+	if stats {
+		fmt.Fprintf(os.Stderr, "input: %s\n", g)
+		fmt.Fprintf(os.Stderr, "cell-groups: %d (%d non-null), IFL=%.4f, min-adjacent-variation=%.6f, iterations=%d\n",
+			rp.NumGroups(), rp.ValidGroups(), rp.IFL, rp.MinAdjVariation, rp.Iterations)
+	}
+
+	if out != "" {
+		of, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer of.Close()
+		if err := rp.ReconstructGrid().WriteCSV(of); err != nil {
+			return fmt.Errorf("writing reduced grid: %w", err)
+		}
+	}
+	if groupsOut != "" {
+		if err := writeGroups(groupsOut, rp); err != nil {
+			return err
+		}
+	}
+	if adjOut != "" {
+		if err := writeAdjacency(adjOut, rp); err != nil {
+			return err
+		}
+	}
+	if cfg.geoOut != "" {
+		b, err := parseBounds(cfg.bbox)
+		if err != nil {
+			return err
+		}
+		gf, err := os.Create(cfg.geoOut)
+		if err != nil {
+			return err
+		}
+		defer gf.Close()
+		if err := rp.WriteGeoJSON(gf, b); err != nil {
+			return fmt.Errorf("writing GeoJSON: %w", err)
+		}
+	}
+	if cfg.partOut != "" {
+		pf, err := os.Create(cfg.partOut)
+		if err != nil {
+			return err
+		}
+		defer pf.Close()
+		if err := rp.WriteJSON(pf); err != nil {
+			return fmt.Errorf("writing partition JSON: %w", err)
+		}
+	}
+	if cfg.render {
+		fmt.Print(render.PartitionBorders(rp.Partition))
+	}
+	return nil
+}
+
+// parseBounds parses "minLat,maxLat,minLon,maxLon".
+func parseBounds(s string) (spatialrepart.Bounds, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return spatialrepart.Bounds{}, fmt.Errorf("bounds %q: want minLat,maxLat,minLon,maxLon", s)
+	}
+	vals := make([]float64, 4)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return spatialrepart.Bounds{}, fmt.Errorf("bounds %q: %w", s, err)
+		}
+		vals[i] = v
+	}
+	return spatialrepart.Bounds{MinLat: vals[0], MaxLat: vals[1], MinLon: vals[2], MaxLon: vals[3]}, nil
+}
+
+func writeGroups(path string, rp *spatialrepart.Repartitioned) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"group", "row_begin", "row_end", "col_begin", "col_end", "size", "null"}); err != nil {
+		return err
+	}
+	for gi, cg := range rp.Partition.Groups {
+		rec := []string{
+			strconv.Itoa(gi),
+			strconv.Itoa(cg.RBeg), strconv.Itoa(cg.REnd),
+			strconv.Itoa(cg.CBeg), strconv.Itoa(cg.CEnd),
+			strconv.Itoa(cg.Size()),
+			strconv.FormatBool(cg.Null),
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func writeAdjacency(path string, rp *spatialrepart.Repartitioned) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"group", "neighbor"}); err != nil {
+		return err
+	}
+	for gi, nbrs := range rp.Partition.AdjacencyList() {
+		for _, nb := range nbrs {
+			if err := w.Write([]string{strconv.Itoa(gi), strconv.Itoa(nb)}); err != nil {
+				return err
+			}
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

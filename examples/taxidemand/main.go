@@ -1,0 +1,118 @@
+// Taxidemand: the full pipeline from raw point records to a trained spatial
+// model. Synthesizes individual NYC-style taxi trip records, aggregates them
+// into a grid (the §II construction), re-partitions the grid, interpolates
+// pickup demand with ordinary kriging, and classifies cells into demand
+// bands with gradient boosting.
+//
+// Run with:
+//
+//	go run ./examples/taxidemand
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spatialrepart"
+	"spatialrepart/internal/boost"
+	"spatialrepart/internal/datagen"
+	"spatialrepart/internal/kriging"
+	"spatialrepart/internal/metrics"
+)
+
+func main() {
+	// 1. Raw records → grid. Each record is one taxi ride.
+	records, bounds, attrs := datagen.TaxiRecords(7, 40000)
+	g, dropped, err := spatialrepart.GridFromRecords(records, bounds, 48, 48, attrs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("aggregated %d records into %s (%d outside bounds)\n", len(records), g, dropped)
+
+	// 2. Re-partition at 5%% information loss.
+	rp, err := spatialrepart.Repartition(g, spatialrepart.Options{
+		Threshold: 0.05,
+		Schedule:  spatialrepart.ScheduleGeometric,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("re-partitioned: %d cells -> %d groups (IFL %.4f)\n",
+		g.ValidCount(), rp.ValidGroups(), rp.IFL)
+
+	// 3. Kriging on pickup demand (attribute 0), trained on the groups.
+	data, err := rp.TrainingData(0, bounds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainIdx, testIdx := data.Split(7, 0.2)
+	_, _, latTr, lonTr := data.Subset(trainIdx)
+	_, _, latTe, lonTe := data.Subset(testIdx)
+	// Kriging interpolates a point-support field: use per-cell demand
+	// (group pickups / group size) as the variable.
+	density := make([]float64, data.Len())
+	for i, y := range data.Y {
+		density[i] = y / float64(data.GroupSize[i])
+	}
+	yTr := make([]float64, len(trainIdx))
+	for i, j := range trainIdx {
+		yTr[i] = density[j]
+	}
+	yTe := make([]float64, len(testIdx))
+	for i, j := range testIdx {
+		yTe[i] = density[j]
+	}
+	krig, err := kriging.FitKriging(latTr, lonTr, yTr, kriging.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := krig.Predict(latTe, lonTe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mae, _ := metrics.MAE(pred, yTe)
+	rmse, _ := metrics.RMSE(pred, yTe)
+	fmt.Printf("kriging demand interpolation: MAE %.2f, RMSE %.2f pickups/cell\n", mae, rmse)
+	fmt.Printf("fitted variogram: nugget %.2f, sill %.2f, range %.4f°\n",
+		krig.Model.Nugget, krig.Model.Sill, krig.Model.Range)
+
+	// 4. Demand-band classification (low … high) with gradient boosting,
+	// using the trips' passenger/distance/fare structure as features.
+	multi := datagen.TaxiTripsMulti(7, 48, 48)
+	mrp, err := spatialrepart.Repartition(multi.Grid, spatialrepart.Options{
+		Threshold: 0.05, Schedule: spatialrepart.ScheduleGeometric,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mdata, err := mrp.TrainingData(multi.TargetAttr, multi.Bounds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cuts, err := metrics.Quantiles(mdata.Y, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	labels := metrics.Discretize(mdata.Y, cuts)
+	mTrain, mTest := mdata.Split(7, 0.2)
+	xTr, _, _, _ := mdata.Subset(mTrain)
+	xTe, _, _, _ := mdata.Subset(mTest)
+	lTr := make([]int, len(mTrain))
+	for i, j := range mTrain {
+		lTr[i] = labels[j]
+	}
+	lTe := make([]int, len(mTest))
+	for i, j := range mTest {
+		lTe[i] = labels[j]
+	}
+	clf, err := boost.FitClassifier(xTr, lTr, boost.Options{NumRounds: 60})
+	if err != nil {
+		log.Fatal(err)
+	}
+	predL, err := clf.Predict(xTe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f1, _ := metrics.WeightedF1(predL, lTe)
+	fmt.Printf("fare-band classification on re-partitioned grid: weighted F1 %.3f\n", f1)
+}

@@ -1,0 +1,3 @@
+module spatialrepart
+
+go 1.22

@@ -1,0 +1,182 @@
+package spatialrepart_test
+
+// Cross-module integration tests: the paper's qualitative claims exercised
+// end to end through the public pipeline at a small but non-trivial scale.
+
+import (
+	"testing"
+	"time"
+
+	"spatialrepart"
+	"spatialrepart/internal/datagen"
+	"spatialrepart/internal/forest"
+	"spatialrepart/internal/metrics"
+	"spatialrepart/internal/regress"
+	"spatialrepart/internal/sampling"
+	"spatialrepart/internal/weights"
+)
+
+// TestIntegrationTrainingTimeDropsErrorBounded is the paper's headline: the
+// re-partitioned dataset trains faster with a bounded accuracy change.
+func TestIntegrationTrainingTimeDropsErrorBounded(t *testing.T) {
+	ds := datagen.HomeSales(99, 32, 32)
+	original, err := spatialrepart.GridTrainingData(ds.Grid, ds.TargetAttr, ds.Bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := spatialrepart.Repartition(ds.Grid, spatialrepart.Options{
+		Threshold: 0.1, Schedule: spatialrepart.ScheduleGeometric,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := rp.TrainingData(ds.TargetAttr, ds.Bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reduced.Len() >= original.Len() {
+		t.Fatalf("no reduction: %d vs %d", reduced.Len(), original.Len())
+	}
+
+	fit := func(d *spatialrepart.Dataset) (time.Duration, float64) {
+		trainIdx, testIdx := d.Split(1, 0.2)
+		xTr, yTr, _, _ := d.Subset(trainIdx)
+		xTe, yTe, _, _ := d.Subset(testIdx)
+		start := time.Now()
+		f, err := forest.FitForest(xTr, yTr, forest.Options{Seed: 1, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		pred, err := f.Predict(xTe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mae, _ := metrics.MAE(pred, yTe)
+		return elapsed, mae
+	}
+	origTime, origMAE := fit(original)
+	redTime, redMAE := fit(reduced)
+	if redTime >= origTime {
+		t.Errorf("reduced training (%v) should beat original (%v)", redTime, origTime)
+	}
+	// Bounded accuracy change: within 2x of the original MAE is a loose but
+	// crash-proof bound; in practice aggregation often improves it.
+	if redMAE > 2*origMAE {
+		t.Errorf("reduced MAE %v blew past original %v", redMAE, origMAE)
+	}
+}
+
+// TestIntegrationSamplingLosesAutocorrelation is §I's motivating claim: the
+// sampled dataset represents the original cells far worse than the
+// re-partitioned one (IFL) and degrades a spatial model more.
+func TestIntegrationSamplingLosesAutocorrelation(t *testing.T) {
+	ds := datagen.TaxiTripsUni(7, 28, 28)
+	rp, err := spatialrepart.Repartition(ds.Grid, spatialrepart.Options{
+		Threshold: 0.1, Schedule: spatialrepart.ScheduleGeometric,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sam, err := sampling.Reduce(ds.Grid, rp.ValidGroups())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sam.IFL <= rp.IFL {
+		t.Errorf("sampling IFL %v should exceed re-partitioning IFL %v at matched counts", sam.IFL, rp.IFL)
+	}
+}
+
+// TestIntegrationAutocorrelationSurvivesReduction: the re-partitioned
+// dataset's adjacency still carries positive spatial autocorrelation —
+// the property sampling destroys and the framework is named for.
+func TestIntegrationAutocorrelationSurvivesReduction(t *testing.T) {
+	ds := datagen.EarningsUni(11, 28, 28)
+	rp, err := spatialrepart.Repartition(ds.Grid, spatialrepart.Options{
+		Threshold: 0.1, Schedule: spatialrepart.ScheduleGeometric,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := rp.TrainingData(0, ds.Bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := weights.New(data.Neighbors)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Per-cell density (sum split) is the autocorrelated quantity.
+	dens := make([]float64, data.Len())
+	for i, y := range data.Y {
+		dens[i] = y / float64(data.GroupSize[i])
+	}
+	mi, err := w.MoransI(dens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mi < 0.2 {
+		t.Errorf("Moran's I after reduction = %v, want clearly positive", mi)
+	}
+}
+
+// TestIntegrationLagModelOnReducedData: a spatial econometric model fits the
+// reduced dataset end to end through the public adjacency machinery.
+func TestIntegrationLagModelOnReducedData(t *testing.T) {
+	ds := datagen.TaxiTripsMulti(13, 28, 28)
+	rp, err := spatialrepart.Repartition(ds.Grid, spatialrepart.Options{
+		Threshold: 0.05, Schedule: spatialrepart.ScheduleGeometric,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := rp.TrainingData(ds.TargetAttr, ds.Bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := weights.New(data.Neighbors)
+	m, err := regress.FitLag(data.X, data.Y, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lagY, err := w.Lag(data.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := m.Predict(data.X, lagY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := metrics.PseudoR2(pred, data.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 < 0.5 {
+		t.Errorf("in-sample R² = %v, want a competent fit", r2)
+	}
+}
+
+// TestIntegrationHomogeneousUnusable: the §III-D naïve variant overshoots
+// the loss thresholds the framework operates at (Table V's conclusion).
+func TestIntegrationHomogeneousUnusable(t *testing.T) {
+	ds := datagen.VehiclesUni(17, 28, 28)
+	hom, err := spatialrepart.Homogeneous(ds.Grid, 2, spatialrepart.MergeBoth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := spatialrepart.Repartition(ds.Grid, spatialrepart.Options{
+		Threshold: 0.1, Schedule: spatialrepart.ScheduleGeometric,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hom.IFL <= 0.1 {
+		t.Errorf("homogeneous 2x2 IFL = %v, want above the 0.1 budget", hom.IFL)
+	}
+	if rp.IFL > 0.1 {
+		t.Errorf("framework IFL = %v, must stay within budget", rp.IFL)
+	}
+	if rp.ValidGroups() >= ds.Grid.ValidCount() {
+		t.Error("framework should still reduce within the budget")
+	}
+}

@@ -1,0 +1,28 @@
+package boost
+
+import "testing"
+
+func BenchmarkFitClassifier(b *testing.B) {
+	x, labels := synthClasses(1, 800)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitClassifier(x, labels, Options{NumRounds: 25, MaxDepth: 3, MinSamplesLeaf: 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClassifierPredict(b *testing.B) {
+	x, labels := synthClasses(2, 800)
+	c, err := FitClassifier(x, labels, Options{NumRounds: 25, MaxDepth: 3, MinSamplesLeaf: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, _ := synthClasses(3, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Predict(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

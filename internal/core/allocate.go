@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math"
+
+	"spatialrepart/internal/grid"
+)
+
+// AllocateFeatures implements Algorithm 2: it computes the feature vector of
+// every cell-group from the ORIGINAL (unnormalized) grid. For sum-aggregated
+// attributes the group value is the sum over constituent cells. For
+// average-aggregated attributes the group value is whichever of (A) the mean
+// or (B) the most frequent value yields the lower local loss (Eq. 2), with
+// ties going to the mean; means of integer attributes are rounded. Groups of
+// null cells get a nil feature vector.
+func AllocateFeatures(orig *grid.Grid, part *Partition) [][]float64 {
+	return allocate(orig, part, false)
+}
+
+// AllocateFeaturesMeanOnly is the Algorithm 2 variant WITHOUT the mode
+// candidate: average-aggregated attributes always take the (rounded) mean.
+// It exists for the allocation ablation — quantifying how much the paper's
+// best-of-mean-and-mode rule actually buys.
+func AllocateFeaturesMeanOnly(orig *grid.Grid, part *Partition) [][]float64 {
+	return allocate(orig, part, true)
+}
+
+func allocate(orig *grid.Grid, part *Partition, meanOnly bool) [][]float64 {
+	p := orig.NumAttrs()
+	feats := make([][]float64, len(part.Groups))
+	vals := make([]float64, 0, 64)
+	for gi, cg := range part.Groups {
+		if cg.Null {
+			continue
+		}
+		fv := make([]float64, p)
+		for k := 0; k < p; k++ {
+			vals = vals[:0]
+			for r := cg.RBeg; r <= cg.REnd; r++ {
+				for c := cg.CBeg; c <= cg.CEnd; c++ {
+					vals = append(vals, orig.At(r, c, k))
+				}
+			}
+			if meanOnly && orig.Attrs[k].Agg == grid.Average && !orig.Attrs[k].Categorical {
+				a := mean(vals)
+				if orig.Attrs[k].Integer {
+					a = math.Round(a)
+				}
+				fv[k] = a
+				continue
+			}
+			fv[k] = allocateAttr(orig.Attrs[k], vals)
+		}
+		feats[gi] = fv
+	}
+	return feats
+}
+
+// allocateAttr computes one attribute's representative value for a group's
+// member values under Algorithm 2's rules: sums add, categorical attributes
+// take the mode, and averaged attributes take the better of mean and mode
+// under the Eq. 2 local loss (mean rounded for integer attributes).
+func allocateAttr(attr grid.Attribute, vals []float64) float64 {
+	if attr.Agg == grid.Sum {
+		var s float64
+		for _, v := range vals {
+			s += v
+		}
+		return s
+	}
+	if attr.Categorical {
+		return mode(vals)
+	}
+	a := mean(vals)
+	if attr.Integer {
+		a = math.Round(a)
+	}
+	b := mode(vals)
+	if localLoss(vals, a) <= localLoss(vals, b) {
+		return a
+	}
+	return b
+}
+
+// localLoss is Eq. 2: the mean absolute deviation of the constituent cells'
+// values from the candidate representative value.
+func localLoss(vals []float64, rep float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vals {
+		s += math.Abs(v - rep)
+	}
+	return s / float64(len(vals))
+}
+
+func mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+// mode returns the most frequently occurring value; among equally frequent
+// values the smallest wins, which keeps the result deterministic.
+func mode(vals []float64) float64 {
+	counts := make(map[float64]int, len(vals))
+	for _, v := range vals {
+		counts[v]++
+	}
+	best, bestN := math.Inf(1), -1
+	for v, n := range counts {
+		if n > bestN || (n == bestN && v < best) {
+			best, bestN = v, n
+		}
+	}
+	return best
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"spatialrepart/internal/datagen"
+)
+
+func benchGrid(b *testing.B) *Repartitioned {
+	b.Helper()
+	ds := datagen.TaxiTripsUni(1, 40, 40)
+	rp, err := Repartition(ds.Grid, Options{Threshold: 0.1, Schedule: ScheduleGeometric})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rp
+}
+
+func BenchmarkBuildLadder(b *testing.B) {
+	ds := datagen.TaxiTripsUni(1, 40, 40)
+	norm, _ := ds.Grid.Normalized()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildLadder(norm)
+	}
+}
+
+func BenchmarkExtract(b *testing.B) {
+	ds := datagen.TaxiTripsUni(1, 40, 40)
+	norm, _ := ds.Grid.Normalized()
+	ladder := BuildLadder(norm)
+	minVar := ladder.Rung(ladder.Len() / 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Extract(norm, minVar)
+	}
+}
+
+func BenchmarkAllocateFeatures(b *testing.B) {
+	ds := datagen.TaxiTripsUni(1, 40, 40)
+	rp := benchGrid(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AllocateFeatures(ds.Grid, rp.Partition)
+	}
+}
+
+func BenchmarkIFL(b *testing.B) {
+	ds := datagen.TaxiTripsUni(1, 40, 40)
+	rp := benchGrid(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		IFL(ds.Grid, rp.Partition, rp.Features)
+	}
+}
+
+func BenchmarkPartitionAdjacencyList(b *testing.B) {
+	rp := benchGrid(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rp.Partition.AdjacencyList()
+	}
+}
+
+func BenchmarkTrainingData(b *testing.B) {
+	ds := datagen.TaxiTripsUni(1, 40, 40)
+	rp := benchGrid(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rp.TrainingData(0, ds.Bounds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstructGrid(b *testing.B) {
+	rp := benchGrid(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rp.ReconstructGrid()
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"spatialrepart/internal/grid"
+)
+
+func TestWriteGeoJSON(t *testing.T) {
+	g := uniGrid([][]float64{
+		{5, 5},
+		{9, 9},
+	})
+	rp, err := Repartition(g, Options{Threshold: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := grid.Bounds{MinLat: 40, MaxLat: 41, MinLon: -74, MaxLon: -73}
+	var buf bytes.Buffer
+	if err := rp.WriteGeoJSON(&buf, bounds); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Type     string `json:"type"`
+		Features []struct {
+			Type     string `json:"type"`
+			Geometry struct {
+				Type        string         `json:"type"`
+				Coordinates [][][2]float64 `json:"coordinates"`
+			} `json:"geometry"`
+			Properties map[string]any `json:"properties"`
+		} `json:"features"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.Type != "FeatureCollection" {
+		t.Errorf("type = %q", doc.Type)
+	}
+	if len(doc.Features) != rp.NumGroups() {
+		t.Fatalf("features = %d, want %d", len(doc.Features), rp.NumGroups())
+	}
+	for _, f := range doc.Features {
+		if f.Geometry.Type != "Polygon" {
+			t.Fatalf("geometry type = %q", f.Geometry.Type)
+		}
+		ring := f.Geometry.Coordinates[0]
+		if len(ring) != 5 || ring[0] != ring[4] {
+			t.Fatal("polygon ring must be closed with 5 points")
+		}
+		for _, pt := range ring {
+			if pt[0] < -74 || pt[0] > -73 || pt[1] < 40 || pt[1] > 41 {
+				t.Fatalf("coordinate %v outside bounds", pt)
+			}
+		}
+		if _, ok := f.Properties["group"]; !ok {
+			t.Fatal("missing group property")
+		}
+		if _, ok := f.Properties["v"]; !ok {
+			t.Fatal("missing attribute property")
+		}
+	}
+}
+
+func TestWriteGeoJSONCoversBounds(t *testing.T) {
+	// The union of group rectangles tiles the full bounds: the min/max of
+	// all coordinates must hit the bounds exactly.
+	g := uniGrid([][]float64{
+		{1, 2, 3},
+		{4, 5, 6},
+	})
+	rp, err := Repartition(g, Options{Threshold: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := grid.Bounds{MinLat: 0, MaxLat: 2, MinLon: 0, MaxLon: 3}
+	var buf bytes.Buffer
+	if err := rp.WriteGeoJSON(&buf, bounds); err != nil {
+		t.Fatal(err)
+	}
+	var doc geoFeatureCollection
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	minLat, maxLat, minLon, maxLon := 99.0, -99.0, 99.0, -99.0
+	for _, f := range doc.Features {
+		for _, pt := range f.Geometry.Coordinates[0] {
+			if pt[1] < minLat {
+				minLat = pt[1]
+			}
+			if pt[1] > maxLat {
+				maxLat = pt[1]
+			}
+			if pt[0] < minLon {
+				minLon = pt[0]
+			}
+			if pt[0] > maxLon {
+				maxLon = pt[0]
+			}
+		}
+	}
+	if minLat != 0 || maxLat != 2 || minLon != 0 || maxLon != 3 {
+		t.Errorf("coverage [%v,%v]x[%v,%v], want [0,2]x[0,3]", minLat, maxLat, minLon, maxLon)
+	}
+}
+
+func TestWriteGeoJSONDegenerateBounds(t *testing.T) {
+	g := uniGrid([][]float64{{1}})
+	rp, _ := Repartition(g, Options{Threshold: 0.1})
+	var buf bytes.Buffer
+	if err := rp.WriteGeoJSON(&buf, grid.Bounds{}); err == nil {
+		t.Error("want degenerate-bounds error")
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"spatialrepart/internal/grid"
+)
+
+// AllocateFeaturesFor applies Algorithm 2's feature allocation to arbitrary
+// (possibly non-rectangular) groups of cells, given as slices of linear cell
+// indices. The data-reduction baselines (sampling, regionalization,
+// spatially contiguous clustering) produce such groups; computing their
+// features with the same rules keeps the Table II/III comparisons fair.
+// Groups whose cells are all null yield a nil vector; null cells inside
+// mixed groups are skipped.
+func AllocateFeaturesFor(orig *grid.Grid, groups [][]int) [][]float64 {
+	p := orig.NumAttrs()
+	feats := make([][]float64, len(groups))
+	vals := make([]float64, 0, 64)
+	for gi, members := range groups {
+		anyValid := false
+		for _, idx := range members {
+			r, c := orig.CellAt(idx)
+			if orig.Valid(r, c) {
+				anyValid = true
+				break
+			}
+		}
+		if !anyValid {
+			continue
+		}
+		fv := make([]float64, p)
+		for k := 0; k < p; k++ {
+			vals = vals[:0]
+			for _, idx := range members {
+				r, c := orig.CellAt(idx)
+				if !orig.Valid(r, c) {
+					continue
+				}
+				vals = append(vals, orig.At(r, c, k))
+			}
+			fv[k] = allocateAttr(orig.Attrs[k], vals)
+		}
+		feats[gi] = fv
+	}
+	return feats
+}
+
+// IFLFor computes Eq. 3 information loss for an arbitrary cell→group
+// assignment (linear cell index → group id; −1 for unassigned/null cells)
+// with the given group features. Sum-aggregated group values are split over
+// the count of valid member cells.
+func IFLFor(orig *grid.Grid, assign []int, feats [][]float64) float64 {
+	p := orig.NumAttrs()
+	sizes := make([]int, len(feats))
+	for idx, gi := range assign {
+		if gi < 0 {
+			continue
+		}
+		r, c := orig.CellAt(idx)
+		if orig.Valid(r, c) {
+			sizes[gi]++
+		}
+	}
+	spans := attrSpans(orig)
+	var sum float64
+	valid := 0
+	for idx, gi := range assign {
+		r, c := orig.CellAt(idx)
+		if !orig.Valid(r, c) || gi < 0 || feats[gi] == nil {
+			continue
+		}
+		valid++
+		for k := 0; k < p; k++ {
+			rep := feats[gi][k]
+			if orig.Attrs[k].Agg == grid.Sum && sizes[gi] > 0 {
+				rep /= float64(sizes[gi])
+			}
+			sum += IFLTermAttr(orig.Attrs[k], orig.At(r, c, k), rep, spans[k])
+		}
+	}
+	if valid == 0 || p == 0 {
+		return 0
+	}
+	return sum / float64(valid*p)
+}

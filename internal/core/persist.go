@@ -1,0 +1,112 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"spatialrepart/internal/grid"
+)
+
+// persistedRepartition is the on-disk JSON form of a re-partitioned dataset:
+// everything needed to rebuild group features, adjacency, and the §III-C
+// cell reconstruction in a different process, WITHOUT the source grid (which
+// the consumer typically already has, or does not need).
+type persistedRepartition struct {
+	Version         int              `json:"version"`
+	Rows            int              `json:"rows"`
+	Cols            int              `json:"cols"`
+	Attrs           []grid.Attribute `json:"attrs"`
+	Groups          []CellGroup      `json:"groups"`
+	Features        [][]float64      `json:"features"` // nil entries for null groups
+	IFL             float64          `json:"ifl"`
+	MinAdjVariation float64          `json:"min_adjacent_variation"`
+	Iterations      int              `json:"iterations"`
+}
+
+const persistVersion = 1
+
+// WriteJSON serializes the re-partitioned dataset (partition rectangles,
+// group features and metadata — not the source grid).
+func (rp *Repartitioned) WriteJSON(w io.Writer) error {
+	doc := persistedRepartition{
+		Version:         persistVersion,
+		Rows:            rp.Partition.Rows,
+		Cols:            rp.Partition.Cols,
+		Attrs:           rp.Source.Attrs,
+		Groups:          rp.Partition.Groups,
+		Features:        rp.Features,
+		IFL:             rp.IFL,
+		MinAdjVariation: rp.MinAdjVariation,
+		Iterations:      rp.Iterations,
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// ReadRepartitionJSON parses a re-partitioned dataset written by WriteJSON.
+// The returned value has no Source grid (it was not persisted); operations
+// that need only the partition and features — AdjacencyList, TrainingData,
+// DistributeToCells — work as usual.
+func ReadRepartitionJSON(r io.Reader) (*Repartitioned, error) {
+	var doc persistedRepartition
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("core: parsing repartition JSON: %w", err)
+	}
+	if doc.Version != persistVersion {
+		return nil, fmt.Errorf("core: unsupported repartition JSON version %d", doc.Version)
+	}
+	if doc.Rows <= 0 || doc.Cols <= 0 {
+		return nil, fmt.Errorf("core: invalid dimensions %dx%d", doc.Rows, doc.Cols)
+	}
+	if len(doc.Features) != len(doc.Groups) {
+		return nil, fmt.Errorf("core: %d feature vectors for %d groups", len(doc.Features), len(doc.Groups))
+	}
+	part := &Partition{
+		Rows:        doc.Rows,
+		Cols:        doc.Cols,
+		Groups:      doc.Groups,
+		CellToGroup: make([]int, doc.Rows*doc.Cols),
+	}
+	covered := make([]bool, doc.Rows*doc.Cols)
+	p := len(doc.Attrs)
+	for gi, cg := range doc.Groups {
+		if cg.RBeg < 0 || cg.REnd >= doc.Rows || cg.CBeg < 0 || cg.CEnd >= doc.Cols ||
+			cg.RBeg > cg.REnd || cg.CBeg > cg.CEnd {
+			return nil, fmt.Errorf("core: group %d has invalid bounds %+v", gi, cg)
+		}
+		if fv := doc.Features[gi]; fv != nil && len(fv) != p {
+			return nil, fmt.Errorf("core: group %d has %d feature values, want %d", gi, len(fv), p)
+		}
+		if cg.Null != (doc.Features[gi] == nil) {
+			return nil, fmt.Errorf("core: group %d null flag inconsistent with features", gi)
+		}
+		for r := cg.RBeg; r <= cg.REnd; r++ {
+			for c := cg.CBeg; c <= cg.CEnd; c++ {
+				idx := r*doc.Cols + c
+				if covered[idx] {
+					return nil, fmt.Errorf("core: cell (%d,%d) covered twice", r, c)
+				}
+				covered[idx] = true
+				part.CellToGroup[idx] = gi
+			}
+		}
+	}
+	for idx, ok := range covered {
+		if !ok {
+			return nil, fmt.Errorf("core: cell %d not covered by any group", idx)
+		}
+	}
+	// A skeletal source grid carries the attribute schema for
+	// Representative/TrainingData computations; it has no cell data.
+	src := grid.New(doc.Rows, doc.Cols, doc.Attrs)
+	return &Repartitioned{
+		Source:          src,
+		Partition:       part,
+		Features:        doc.Features,
+		IFL:             doc.IFL,
+		MinAdjVariation: doc.MinAdjVariation,
+		Iterations:      doc.Iterations,
+	}, nil
+}

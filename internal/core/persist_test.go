@@ -1,0 +1,80 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"spatialrepart/internal/grid"
+)
+
+func TestRepartitionJSONRoundTrip(t *testing.T) {
+	g := uniGrid([][]float64{
+		{5, 5, 9},
+		{5, 5, math.NaN()},
+	})
+	rp, err := Repartition(g, Options{Threshold: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rp.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRepartitionJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Partition.NumGroups() != rp.Partition.NumGroups() {
+		t.Fatalf("groups = %d, want %d", got.Partition.NumGroups(), rp.Partition.NumGroups())
+	}
+	if got.IFL != rp.IFL || got.MinAdjVariation != rp.MinAdjVariation {
+		t.Error("metadata lost")
+	}
+	for idx := range rp.Partition.CellToGroup {
+		if got.Partition.CellToGroup[idx] != rp.Partition.CellToGroup[idx] {
+			t.Fatal("cell-to-group index differs after round trip")
+		}
+	}
+	// The reconstruction machinery works on the loaded value.
+	groupVals := make([]float64, got.NumGroups())
+	for gi, fv := range got.Features {
+		if fv != nil {
+			groupVals[gi] = fv[0]
+		}
+	}
+	vals, valid, err := got.DistributeToCells(groupVals, got.Source.Attrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !valid[0] || vals[0] != rp.Features[rp.Partition.GroupOf(0, 0)][0] {
+		t.Error("distribute after load differs")
+	}
+	// Adjacency still derivable.
+	if adj := got.Partition.AdjacencyList(); len(adj) != got.NumGroups() {
+		t.Error("adjacency broken after load")
+	}
+	// Train-ready data still derivable (bounds arbitrary).
+	if _, err := got.TrainingData(0, grid.Bounds{MinLat: 0, MaxLat: 1, MinLon: 0, MaxLon: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRepartitionJSONValidation(t *testing.T) {
+	cases := []string{
+		``,
+		`{"version":99}`,
+		`{"version":1,"rows":0,"cols":2}`,
+		`{"version":1,"rows":1,"cols":1,"attrs":[{"Name":"v"}],"groups":[],"features":[]}`,                                                                                   // uncovered cell
+		`{"version":1,"rows":1,"cols":1,"attrs":[{"Name":"v"}],"groups":[{"RBeg":0,"REnd":5,"CBeg":0,"CEnd":0}],"features":[[1]]}`,                                           // bad bounds
+		`{"version":1,"rows":1,"cols":1,"attrs":[{"Name":"v"}],"groups":[{"RBeg":0,"REnd":0,"CBeg":0,"CEnd":0,"Null":true}],"features":[[1]]}`,                               // null flag vs features
+		`{"version":1,"rows":1,"cols":2,"attrs":[{"Name":"v"}],"groups":[{"RBeg":0,"REnd":0,"CBeg":0,"CEnd":1},{"RBeg":0,"REnd":0,"CBeg":1,"CEnd":1}],"features":[[1],[2]]}`, // overlap
+		`{"version":1,"rows":1,"cols":1,"attrs":[{"Name":"a"},{"Name":"b"}],"groups":[{"RBeg":0,"REnd":0,"CBeg":0,"CEnd":0}],"features":[[1]]}`,                              // arity
+	}
+	for _, in := range cases {
+		if _, err := ReadRepartitionJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: want error", in)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fmt"
+
+	"spatialrepart/internal/grid"
+)
+
+// ReconstructGrid maps the re-partitioned dataset back to a full-resolution
+// grid (paper §III-C): every input cell receives the representative value of
+// its cell-group — the group value itself for average-aggregated attributes,
+// or the group value divided by the group's cell count for sum-aggregated
+// ones. Null groups reconstruct to null cells.
+func (rp *Repartitioned) ReconstructGrid() *grid.Grid {
+	src := rp.Source
+	out := grid.New(src.Rows, src.Cols, src.Attrs)
+	p := src.NumAttrs()
+	fv := make([]float64, p)
+	for r := 0; r < src.Rows; r++ {
+		for c := 0; c < src.Cols; c++ {
+			gi := rp.Partition.GroupOf(r, c)
+			feats := rp.Features[gi]
+			if feats == nil {
+				continue
+			}
+			size := rp.Partition.Groups[gi].Size()
+			for k := 0; k < p; k++ {
+				fv[k] = Representative(src.Attrs[k], feats[k], size)
+			}
+			out.SetVector(r, c, fv)
+		}
+	}
+	return out
+}
+
+// DistributeToCells spreads arbitrary per-group values (for example, the
+// predictions a model produced for the cell-groups) onto the input cells,
+// applying the §III-C mapping for the aggregation type of the target
+// attribute. The returned slice is indexed by linear cell index; cells whose
+// group is null receive NaN-free zero and false in the validity slice.
+func (rp *Repartitioned) DistributeToCells(groupValues []float64, attr grid.Attribute) (values []float64, valid []bool, err error) {
+	if len(groupValues) != len(rp.Partition.Groups) {
+		return nil, nil, fmt.Errorf("core: %d group values for %d groups", len(groupValues), len(rp.Partition.Groups))
+	}
+	n := rp.Partition.Rows * rp.Partition.Cols
+	values = make([]float64, n)
+	valid = make([]bool, n)
+	for idx := 0; idx < n; idx++ {
+		gi := rp.Partition.CellToGroup[idx]
+		cg := rp.Partition.Groups[gi]
+		if cg.Null {
+			continue
+		}
+		values[idx] = Representative(attr, groupValues[gi], cg.Size())
+		valid[idx] = true
+	}
+	return values, valid, nil
+}

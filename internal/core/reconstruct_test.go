@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"spatialrepart/internal/grid"
+)
+
+// TestReconstructPaperExample7: a sum-aggregated group of 2 cells with value
+// 54 reconstructs each constituent cell as 27.
+func TestReconstructPaperExample7(t *testing.T) {
+	g := grid.New(1, 2, []grid.Attribute{{Name: "v", Agg: grid.Sum}})
+	g.Set(0, 0, 0, 30)
+	g.Set(0, 1, 0, 24)
+	rp := &Repartitioned{
+		Source: g,
+		Partition: &Partition{
+			Rows: 1, Cols: 2,
+			Groups:      []CellGroup{{RBeg: 0, REnd: 0, CBeg: 0, CEnd: 1}},
+			CellToGroup: []int{0, 0},
+		},
+		Features: [][]float64{{54}},
+	}
+	out := rp.ReconstructGrid()
+	if out.At(0, 0, 0) != 27 || out.At(0, 1, 0) != 27 {
+		t.Errorf("reconstructed = %v, %v; want 27, 27", out.At(0, 0, 0), out.At(0, 1, 0))
+	}
+}
+
+func TestReconstructAverageCopiesValue(t *testing.T) {
+	g := grid.New(1, 2, []grid.Attribute{{Name: "v", Agg: grid.Average}})
+	g.Set(0, 0, 0, 10)
+	g.Set(0, 1, 0, 20)
+	rp := &Repartitioned{
+		Source: g,
+		Partition: &Partition{
+			Rows: 1, Cols: 2,
+			Groups:      []CellGroup{{RBeg: 0, REnd: 0, CBeg: 0, CEnd: 1}},
+			CellToGroup: []int{0, 0},
+		},
+		Features: [][]float64{{15}},
+	}
+	out := rp.ReconstructGrid()
+	if out.At(0, 0, 0) != 15 || out.At(0, 1, 0) != 15 {
+		t.Errorf("reconstructed = %v, %v; want 15, 15", out.At(0, 0, 0), out.At(0, 1, 0))
+	}
+}
+
+func TestReconstructPreservesNulls(t *testing.T) {
+	g := uniGrid([][]float64{{7, math.NaN()}})
+	rp, err := Repartition(g, Options{Threshold: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rp.ReconstructGrid()
+	if out.Valid(0, 1) {
+		t.Error("null cell reconstructed as valid")
+	}
+	if !out.Valid(0, 0) || out.At(0, 0, 0) != 7 {
+		t.Errorf("valid cell = %v", out.At(0, 0, 0))
+	}
+}
+
+// TestReconstructRoundTripZeroThreshold: at threshold 0 the reconstruction
+// must reproduce the original grid exactly for average-aggregated data.
+func TestReconstructRoundTripZeroThreshold(t *testing.T) {
+	g := uniGrid([][]float64{
+		{5, 5, 9},
+		{5, 5, 8},
+	})
+	rp, err := Repartition(g, Options{Threshold: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rp.ReconstructGrid()
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			if out.At(r, c, 0) != g.At(r, c, 0) {
+				t.Errorf("(%d,%d) = %v, want %v", r, c, out.At(r, c, 0), g.At(r, c, 0))
+			}
+		}
+	}
+}
+
+func TestDistributeToCells(t *testing.T) {
+	g := grid.New(1, 3, []grid.Attribute{{Name: "v", Agg: grid.Sum}})
+	g.Set(0, 0, 0, 1)
+	g.Set(0, 1, 0, 1)
+	// One 2-cell group and one null singleton.
+	rp := &Repartitioned{
+		Source: g,
+		Partition: &Partition{
+			Rows: 1, Cols: 3,
+			Groups: []CellGroup{
+				{RBeg: 0, REnd: 0, CBeg: 0, CEnd: 1},
+				{RBeg: 0, REnd: 0, CBeg: 2, CEnd: 2, Null: true},
+			},
+			CellToGroup: []int{0, 0, 1},
+		},
+		Features: [][]float64{{2}, nil},
+	}
+	vals, valid, err := rp.DistributeToCells([]float64{10, 0}, g.Attrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 5 || vals[1] != 5 {
+		t.Errorf("distributed = %v, want 5 each (sum split)", vals[:2])
+	}
+	if valid[2] {
+		t.Error("null group cell marked valid")
+	}
+	if _, _, err := rp.DistributeToCells([]float64{1}, g.Attrs[0]); err == nil {
+		t.Error("want arity error")
+	}
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"spatialrepart/internal/grid"
+)
+
+// Schedule selects how many rungs of the variation ladder the driver climbs
+// per iteration (DESIGN.md §3.2).
+type Schedule int
+
+const (
+	// ScheduleExact pops one distinct min-adjacent variation per iteration,
+	// exactly as §III-A1 describes. Converges in O(#distinct variations)
+	// iterations, each re-extracting the whole grid.
+	ScheduleExact Schedule = iota
+	// ScheduleGeometric doubles the climb per iteration and, once the IFL
+	// threshold is exceeded, bisects back to the largest rung whose IFL still
+	// satisfies the threshold. O(log #variations) iterations; returns the
+	// same partition as ScheduleExact whenever IFL is monotone in the rung,
+	// which it is in practice.
+	ScheduleGeometric
+)
+
+// Options configures Repartition.
+type Options struct {
+	// Threshold is the user-specified information-loss bound θ ∈ [0, 1].
+	Threshold float64
+	// Schedule picks the iteration schedule; default ScheduleExact.
+	Schedule Schedule
+	// MaxIterations caps the number of extract/allocate/loss iterations.
+	// 0 means unlimited.
+	MaxIterations int
+}
+
+// Repartitioned is the output of the framework: the re-partitioned dataset
+// d̄ of §III — a set of rectangular cell-groups with allocated feature
+// vectors, plus the bookkeeping needed to train ML models (adjacency) and to
+// map predictions back to input cells.
+type Repartitioned struct {
+	Source    *grid.Grid  // the original input grid (not copied)
+	Partition *Partition  // group rectangles and the cell→group index
+	Features  [][]float64 // per-group feature vectors; nil for null groups
+	IFL       float64     // information loss of this partition vs. Source
+
+	Iterations      int     // extract/allocate/loss iterations performed
+	MinAdjVariation float64 // the accepted min-adjacent variation
+}
+
+// NumGroups returns the number of cell-groups (null groups included).
+func (rp *Repartitioned) NumGroups() int { return len(rp.Partition.Groups) }
+
+// ValidGroups returns the number of non-null cell-groups, i.e. the number of
+// training instances the re-partitioned dataset yields.
+func (rp *Repartitioned) ValidGroups() int {
+	n := 0
+	for _, cg := range rp.Partition.Groups {
+		if !cg.Null {
+			n++
+		}
+	}
+	return n
+}
+
+// ErrThreshold is returned when Options.Threshold is outside [0, 1].
+var ErrThreshold = errors.New("core: information-loss threshold must lie in [0, 1]")
+
+// Repartition runs the full framework of §III-A: it normalizes the input,
+// pre-computes the min-adjacent-variation ladder once, and then iterates
+// extract → allocate → information-loss, climbing the ladder until the next
+// step would push IFL beyond the threshold. The returned dataset is the
+// coarsest one whose IFL ≤ θ (the identity partition, with IFL 0, if even
+// the first merge overshoots).
+func Repartition(g *grid.Grid, opts Options) (*Repartitioned, error) {
+	if opts.Threshold < 0 || opts.Threshold > 1 {
+		return nil, fmt.Errorf("%w: got %v", ErrThreshold, opts.Threshold)
+	}
+	if err := grid.ValidateAttrs(g.Attrs); err != nil {
+		return nil, err
+	}
+	norm, _ := g.Normalized()
+	ladder := BuildLadder(norm)
+
+	best := &Repartitioned{
+		Source:          g,
+		Partition:       Identity(g),
+		MinAdjVariation: -1,
+	}
+	best.Features = AllocateFeatures(g, best.Partition)
+
+	iterBudget := opts.MaxIterations
+	if iterBudget <= 0 {
+		iterBudget = int(^uint(0) >> 1)
+	}
+	iters := 0
+
+	// tryRung evaluates ladder rung i and promotes it to best when its IFL
+	// stays within the threshold.
+	tryRung := func(i int) (ok bool) {
+		iters++
+		minVar := ladder.Rung(i)
+		part := Extract(norm, minVar)
+		feats := AllocateFeatures(g, part)
+		loss := IFL(g, part, feats)
+		if loss <= opts.Threshold {
+			best = &Repartitioned{
+				Source:          g,
+				Partition:       part,
+				Features:        feats,
+				IFL:             loss,
+				MinAdjVariation: minVar,
+			}
+			return true
+		}
+		return false
+	}
+
+	switch opts.Schedule {
+	case ScheduleExact:
+		for i := 0; i < ladder.Len() && iters < iterBudget; i++ {
+			if !tryRung(i) {
+				break
+			}
+		}
+	case ScheduleGeometric:
+		// Exponential search for the frontier, then bisection.
+		lastGood, firstBad := -1, ladder.Len()
+		for step := 1; lastGood+step < ladder.Len() && iters < iterBudget; step *= 2 {
+			i := lastGood + step
+			if tryRung(i) {
+				lastGood = i
+			} else {
+				firstBad = i
+				break
+			}
+		}
+		for lo, hi := lastGood+1, firstBad-1; lo <= hi && iters < iterBudget; {
+			mid := (lo + hi) / 2
+			if tryRung(mid) {
+				lo = mid + 1
+			} else {
+				hi = mid - 1
+			}
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown schedule %d", opts.Schedule)
+	}
+
+	best.Iterations = iters
+	return best, nil
+}

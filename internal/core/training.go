@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spatialrepart/internal/grid"
+)
+
+// Dataset is the train-ready form of a (re-partitioned or original) spatial
+// grid dataset (paper §III-B): one instance per non-null cell-group, carrying
+// the non-target attributes as the feature vector, the target attribute as
+// the response, the group's centroid and rectangle vertices (for kriging and
+// geographically weighted regression), and the adjacency list re-indexed to
+// the retained instances.
+type Dataset struct {
+	X        [][]float64 // feature vectors, one per instance
+	Y        []float64   // target attribute values
+	Lat, Lon []float64   // instance centroids
+	// Corners holds the four rectangle vertices of each instance as
+	// (lat, lon) pairs in row-major order: (RBeg,CBeg), (RBeg,CEnd),
+	// (REnd,CBeg), (REnd,CEnd).
+	Corners   [][4][2]float64
+	Neighbors [][]int // adjacency among instances (binary weights)
+	GroupSize []int   // number of input cells per instance
+	GroupID   []int   // id of the cell-group each instance came from
+}
+
+// Len returns the number of instances.
+func (d *Dataset) Len() int { return len(d.Y) }
+
+// NumFeatures returns the feature dimensionality (0 for an empty dataset).
+func (d *Dataset) NumFeatures() int {
+	if len(d.X) == 0 {
+		return 0
+	}
+	return len(d.X[0])
+}
+
+// TrainingData prepares the re-partitioned dataset for model training
+// (§III-B): each non-null cell-group becomes one instance. targetAttr
+// selects the response attribute; the remaining attributes form the feature
+// vector. A negative targetAttr yields an unsupervised dataset (all
+// attributes in X, Y zero-filled). bounds maps grid indices to geographic
+// coordinates for the centroid and vertex features.
+func (rp *Repartitioned) TrainingData(targetAttr int, bounds grid.Bounds) (*Dataset, error) {
+	p := rp.Source.NumAttrs()
+	if targetAttr >= p {
+		return nil, fmt.Errorf("core: target attribute %d out of range (have %d attributes)", targetAttr, p)
+	}
+	part := rp.Partition
+	adj := part.AdjacencyList()
+
+	instOf := make([]int, len(part.Groups))
+	for i := range instOf {
+		instOf[i] = -1
+	}
+	d := &Dataset{}
+	for gi, cg := range part.Groups {
+		if cg.Null {
+			continue
+		}
+		instOf[gi] = d.Len()
+		fv := rp.Features[gi]
+		x := make([]float64, 0, p)
+		for k := 0; k < p; k++ {
+			if k == targetAttr {
+				continue
+			}
+			x = append(x, fv[k])
+		}
+		y := 0.0
+		if targetAttr >= 0 {
+			y = fv[targetAttr]
+		}
+		latB, lonB := bounds.CellCenter(cg.RBeg, cg.CBeg, part.Rows, part.Cols)
+		latE, lonE := bounds.CellCenter(cg.REnd, cg.CEnd, part.Rows, part.Cols)
+		d.X = append(d.X, x)
+		d.Y = append(d.Y, y)
+		d.Lat = append(d.Lat, (latB+latE)/2)
+		d.Lon = append(d.Lon, (lonB+lonE)/2)
+		d.Corners = append(d.Corners, [4][2]float64{
+			{latB, lonB}, {latB, lonE}, {latE, lonB}, {latE, lonE},
+		})
+		d.GroupSize = append(d.GroupSize, cg.Size())
+		d.GroupID = append(d.GroupID, gi)
+	}
+	// Re-index adjacency to instances, dropping null neighbors.
+	d.Neighbors = make([][]int, d.Len())
+	for gi, nbrs := range adj {
+		ii := instOf[gi]
+		if ii < 0 {
+			continue
+		}
+		var list []int
+		for _, ngi := range nbrs {
+			if ni := instOf[ngi]; ni >= 0 {
+				list = append(list, ni)
+			}
+		}
+		d.Neighbors[ii] = list
+	}
+	return d, nil
+}
+
+// GridTrainingData prepares the ORIGINAL grid for model training by treating
+// every valid cell as its own instance — the identity-partition path the
+// paper's "Original" rows use.
+func GridTrainingData(g *grid.Grid, targetAttr int, bounds grid.Bounds) (*Dataset, error) {
+	rp := &Repartitioned{Source: g, Partition: Identity(g)}
+	rp.Features = AllocateFeatures(g, rp.Partition)
+	return rp.TrainingData(targetAttr, bounds)
+}
+
+// Split deterministically shuffles instance indices with the given seed and
+// splits them into train and test sets, with testFrac of the instances (at
+// least one, when possible) held out — the 80/20 protocol of §III-B uses
+// testFrac = 0.2.
+func (d *Dataset) Split(seed int64, testFrac float64) (train, test []int) {
+	n := d.Len()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	nTest := int(float64(n) * testFrac)
+	if nTest == 0 && n > 1 && testFrac > 0 {
+		nTest = 1
+	}
+	return idx[nTest:], idx[:nTest]
+}
+
+// Subset materializes the selected instances as slices the model packages
+// consume directly.
+func (d *Dataset) Subset(idx []int) (x [][]float64, y []float64, lat, lon []float64) {
+	x = make([][]float64, len(idx))
+	y = make([]float64, len(idx))
+	lat = make([]float64, len(idx))
+	lon = make([]float64, len(idx))
+	for i, j := range idx {
+		x[i] = d.X[j]
+		y[i] = d.Y[j]
+		lat[i] = d.Lat[j]
+		lon[i] = d.Lon[j]
+	}
+	return x, y, lat, lon
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"spatialrepart/internal/grid"
+)
+
+func testBounds() grid.Bounds {
+	return grid.Bounds{MinLat: 0, MaxLat: 10, MinLon: 0, MaxLon: 10}
+}
+
+func multiGrid() *grid.Grid {
+	attrs := []grid.Attribute{
+		{Name: "a", Agg: grid.Average},
+		{Name: "b", Agg: grid.Average},
+		{Name: "target", Agg: grid.Average},
+	}
+	g := grid.New(4, 4, attrs)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			if r == 3 && c == 3 {
+				continue // one null cell
+			}
+			base := float64(r*4 + c)
+			g.SetVector(r, c, []float64{base, 2 * base, 3 * base})
+		}
+	}
+	return g
+}
+
+func TestTrainingDataShape(t *testing.T) {
+	g := multiGrid()
+	rp, err := Repartition(g, Options{Threshold: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := rp.TrainingData(2, testBounds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != rp.ValidGroups() {
+		t.Fatalf("instances = %d, want %d valid groups", d.Len(), rp.ValidGroups())
+	}
+	if d.NumFeatures() != 2 {
+		t.Fatalf("features = %d, want 2 (target excluded)", d.NumFeatures())
+	}
+	if len(d.Y) != d.Len() || len(d.Lat) != d.Len() || len(d.Neighbors) != d.Len() ||
+		len(d.GroupSize) != d.Len() || len(d.GroupID) != d.Len() || len(d.Corners) != d.Len() {
+		t.Fatal("parallel slices out of sync")
+	}
+	for i := range d.Y {
+		gi := d.GroupID[i]
+		if d.Y[i] != rp.Features[gi][2] {
+			t.Errorf("Y[%d] = %v, want %v", i, d.Y[i], rp.Features[gi][2])
+		}
+		if d.X[i][0] != rp.Features[gi][0] || d.X[i][1] != rp.Features[gi][1] {
+			t.Errorf("X[%d] mismatch", i)
+		}
+	}
+}
+
+func TestTrainingDataTargetOutOfRange(t *testing.T) {
+	g := multiGrid()
+	rp, _ := Repartition(g, Options{Threshold: 0.05})
+	if _, err := rp.TrainingData(3, testBounds()); err == nil {
+		t.Error("want error for out-of-range target attribute")
+	}
+}
+
+func TestTrainingDataUnsupervised(t *testing.T) {
+	g := multiGrid()
+	rp, _ := Repartition(g, Options{Threshold: 0.05})
+	d, err := rp.TrainingData(-1, testBounds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumFeatures() != 3 {
+		t.Fatalf("unsupervised features = %d, want all 3", d.NumFeatures())
+	}
+	for _, y := range d.Y {
+		if y != 0 {
+			t.Fatal("unsupervised Y must be zero-filled")
+		}
+	}
+}
+
+func TestTrainingDataNeighborsReindexed(t *testing.T) {
+	g := multiGrid()
+	rp, err := Repartition(g, Options{Threshold: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := rp.TrainingData(2, testBounds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, list := range d.Neighbors {
+		for _, j := range list {
+			if j < 0 || j >= d.Len() {
+				t.Fatalf("neighbor index %d out of range", j)
+			}
+			if j == i {
+				t.Fatal("self neighbor")
+			}
+		}
+	}
+}
+
+func TestTrainingDataCentroidInsideBounds(t *testing.T) {
+	g := multiGrid()
+	d, err := GridTrainingData(g, 2, testBounds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Lat {
+		if d.Lat[i] < 0 || d.Lat[i] > 10 || d.Lon[i] < 0 || d.Lon[i] > 10 {
+			t.Fatalf("centroid (%v,%v) outside bounds", d.Lat[i], d.Lon[i])
+		}
+	}
+}
+
+func TestGridTrainingDataCountsValidCells(t *testing.T) {
+	g := multiGrid()
+	d, err := GridTrainingData(g, 2, testBounds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != g.ValidCount() {
+		t.Fatalf("instances = %d, want %d", d.Len(), g.ValidCount())
+	}
+	for _, s := range d.GroupSize {
+		if s != 1 {
+			t.Fatal("identity partition groups must have size 1")
+		}
+	}
+}
+
+func TestSplitDeterministicAndDisjoint(t *testing.T) {
+	g := multiGrid()
+	d, _ := GridTrainingData(g, 2, testBounds())
+	tr1, te1 := d.Split(42, 0.2)
+	tr2, te2 := d.Split(42, 0.2)
+	if len(tr1) != len(tr2) || len(te1) != len(te2) {
+		t.Fatal("split not deterministic in sizes")
+	}
+	for i := range tr1 {
+		if tr1[i] != tr2[i] {
+			t.Fatal("split not deterministic")
+		}
+	}
+	seen := map[int]bool{}
+	for _, i := range append(append([]int{}, tr1...), te1...) {
+		if seen[i] {
+			t.Fatal("train/test overlap")
+		}
+		seen[i] = true
+	}
+	if len(seen) != d.Len() {
+		t.Fatal("split does not cover all instances")
+	}
+	wantTest := int(float64(d.Len()) * 0.2)
+	if len(te1) != wantTest {
+		t.Fatalf("test size = %d, want %d", len(te1), wantTest)
+	}
+}
+
+func TestSplitTinyDataset(t *testing.T) {
+	g := grid.New(1, 2, uniAttrs())
+	g.Set(0, 0, 0, 1)
+	g.Set(0, 1, 0, 2)
+	d, _ := GridTrainingData(g, 0, testBounds())
+	tr, te := d.Split(1, 0.2)
+	if len(te) != 1 || len(tr) != 1 {
+		t.Fatalf("tiny split = %d/%d, want 1/1", len(tr), len(te))
+	}
+}
+
+func TestSubset(t *testing.T) {
+	g := multiGrid()
+	d, _ := GridTrainingData(g, 2, testBounds())
+	x, y, lat, lon := d.Subset([]int{0, 2})
+	if len(x) != 2 || len(y) != 2 || len(lat) != 2 || len(lon) != 2 {
+		t.Fatal("subset sizes wrong")
+	}
+	if y[1] != d.Y[2] || math.Abs(lat[0]-d.Lat[0]) > 0 {
+		t.Fatal("subset values wrong")
+	}
+}

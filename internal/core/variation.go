@@ -1,0 +1,132 @@
+// Package core implements the paper's primary contribution: the ML-aware
+// spatial data re-partitioning framework (Section III). Fine-grained,
+// adjacent spatial cells with similar attribute values are iteratively merged
+// into rectangular cell-groups until a user-specified information-loss (IFL)
+// threshold would be exceeded; the coarser re-partitioned grid then trains
+// downstream spatial ML models in a fraction of the original time and memory.
+package core
+
+import (
+	"container/heap"
+	"math"
+
+	"spatialrepart/internal/grid"
+)
+
+// Variation returns the attribute variation between two numeric feature
+// vectors (Eq. 1): the mean absolute per-attribute difference. Both vectors
+// must have the same length; the caller normalizes attributes first so that
+// wide-range attributes do not dominate.
+func Variation(a, b []float64) float64 {
+	var s float64
+	for k, av := range a {
+		s += math.Abs(av - b[k])
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	return s / float64(len(a))
+}
+
+// VariationAttrs is Variation extended with categorical awareness (the §VI
+// categorical-attributes extension): a categorical dimension contributes a
+// 0/1 mismatch indicator instead of a numeric difference, so two cells merge
+// only when their categories agree (or the mismatch budget allows it).
+func VariationAttrs(attrs []grid.Attribute, a, b []float64) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	var s float64
+	for k, av := range a {
+		if attrs[k].Categorical {
+			if av != b[k] {
+				s++
+			}
+			continue
+		}
+		s += math.Abs(av - b[k])
+	}
+	return s / float64(len(a))
+}
+
+// cellVariation returns the variation between cells (r1,c1) and (r2,c2) of a
+// normalized grid, with the paper's null-cell rule: two null cells may always
+// merge (variation 0), while a null cell never merges with a non-null cell
+// (variation +Inf).
+func cellVariation(g *grid.Grid, r1, c1, r2, c2 int) float64 {
+	v1, v2 := g.Valid(r1, c1), g.Valid(r2, c2)
+	switch {
+	case !v1 && !v2:
+		return 0
+	case v1 != v2:
+		return math.Inf(1)
+	}
+	return VariationAttrs(g.Attrs, g.Vector(r1, c1), g.Vector(r2, c2))
+}
+
+// variationHeap is the min-adjacent-variation heap of §III-A1 (a plain
+// container/heap min-heap over float64).
+type variationHeap []float64
+
+func (h variationHeap) Len() int            { return len(h) }
+func (h variationHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h variationHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *variationHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
+func (h *variationHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// VariationLadder is the sequence of distinct min-adjacent-variation values,
+// in increasing order. The re-partitioning driver pops one rung per iteration
+// (or several under a geometric schedule); each rung is the
+// minAdjacentVariation for that iteration, exactly as the heap pops of
+// §III-A1 produce increasingly relaxed merge thresholds.
+type VariationLadder struct {
+	values []float64
+}
+
+// BuildLadder pre-computes the variation between every pair of 4-adjacent
+// cells of the normalized grid, pushes them onto a min-heap, and drains the
+// heap into the distinct ascending ladder. Pairs involving exactly one null
+// cell have infinite variation and are excluded (they can never merge).
+func BuildLadder(norm *grid.Grid) *VariationLadder {
+	h := make(variationHeap, 0, 2*norm.Rows*norm.Cols)
+	for r := 0; r < norm.Rows; r++ {
+		for c := 0; c < norm.Cols; c++ {
+			if c+1 < norm.Cols {
+				if v := cellVariation(norm, r, c, r, c+1); !math.IsInf(v, 1) {
+					h = append(h, v)
+				}
+			}
+			if r+1 < norm.Rows {
+				if v := cellVariation(norm, r, c, r+1, c); !math.IsInf(v, 1) {
+					h = append(h, v)
+				}
+			}
+		}
+	}
+	heap.Init(&h)
+	values := make([]float64, 0, len(h))
+	prev := math.Inf(-1)
+	for h.Len() > 0 {
+		v := heap.Pop(&h).(float64)
+		if v > prev {
+			values = append(values, v)
+			prev = v
+		}
+	}
+	return &VariationLadder{values: values}
+}
+
+// Len returns the number of distinct rungs.
+func (l *VariationLadder) Len() int { return len(l.values) }
+
+// Rung returns the i-th smallest distinct adjacent variation.
+func (l *VariationLadder) Rung(i int) float64 { return l.values[i] }
+
+// Values returns the ascending distinct variations (a view, do not modify).
+func (l *VariationLadder) Values() []float64 { return l.values }

@@ -1,0 +1,322 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"spatialrepart/internal/grid"
+)
+
+// Dataset bundles a synthetic grid with the metadata experiments need.
+type Dataset struct {
+	Name       string
+	Grid       *grid.Grid
+	Bounds     grid.Bounds
+	TargetAttr int // index of the regression/classification target; -1 if none
+}
+
+// nycBounds approximates the NYC TLC service area.
+var nycBounds = grid.Bounds{MinLat: 40.49, MaxLat: 40.92, MinLon: -74.27, MaxLon: -73.68}
+
+// kingCountyBounds approximates King County, WA.
+var kingCountyBounds = grid.Bounds{MinLat: 47.15, MaxLat: 47.78, MinLon: -122.52, MaxLon: -121.31}
+
+// chicagoBounds approximates the city of Chicago.
+var chicagoBounds = grid.Bounds{MinLat: 41.64, MaxLat: 42.03, MinLon: -87.95, MaxLon: -87.52}
+
+// emptyFrac is the fraction of cells left null (lakes, parks, unpopulated
+// blocks). Masking follows the smooth intensity field, so empty cells form
+// contiguous blobs like real urban datasets.
+const emptyFrac = 0.08
+
+// TaxiTripsMulti synthesizes the NYC taxi multivariate grid: total #pickups,
+// total #passengers, Σdistances and Σfares per cell for one month. The fare
+// attribute (index 3) is the paper's regression target.
+func TaxiTripsMulti(seed int64, rows, cols int) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	intensity := smoothField(rng, rows, cols, 1+rows/24, 3) // demand surface
+	occupancy := smoothField(rng, rows, cols, 1+rows/16, 2) // passengers/trip
+	tripLen := smoothField(rng, rows, cols, 1+rows/16, 2)   // miles/trip
+	surcharge := smoothField(rng, rows, cols, 1+rows/32, 2) // local price level
+	mask := maskFrom(intensity, emptyFrac)
+
+	attrs := []grid.Attribute{
+		{Name: "pickups", Agg: grid.Sum, Integer: true},
+		{Name: "passengers", Agg: grid.Sum, Integer: true},
+		{Name: "distance", Agg: grid.Sum},
+		{Name: "fare", Agg: grid.Sum},
+	}
+	g := grid.New(rows, cols, attrs)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if !mask[r*cols+c] {
+				continue
+			}
+			pickups := skewedCount(rng, intensity.at(r, c), 500)
+			passengers := math.Round(pickups * (1.2 + 0.8*occupancy.at(r, c)))
+			perTrip := 0.8 + 4.2*tripLen.at(r, c)
+			distance := pickups * perTrip * (0.95 + 0.1*rng.Float64())
+			fare := (2.5*pickups + 2.2*distance + 3*pickups*surcharge.at(r, c)) * (0.85 + 0.3*rng.Float64())
+			g.SetVector(r, c, []float64{pickups, passengers, distance, fare})
+		}
+	}
+	return &Dataset{Name: "taxi-multi", Grid: g, Bounds: nycBounds, TargetAttr: 3}
+}
+
+// TaxiTripsUni synthesizes the univariate NYC taxi grid (#pickups per cell).
+func TaxiTripsUni(seed int64, rows, cols int) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	intensity := smoothField(rng, rows, cols, 1+rows/24, 3)
+	mask := maskFrom(intensity, emptyFrac)
+	attrs := []grid.Attribute{{Name: "pickups", Agg: grid.Sum, Integer: true}}
+	g := grid.New(rows, cols, attrs)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if !mask[r*cols+c] {
+				continue
+			}
+			g.Set(r, c, 0, skewedCount(rng, intensity.at(r, c), 500))
+		}
+	}
+	return &Dataset{Name: "taxi-uni", Grid: g, Bounds: nycBounds, TargetAttr: 0}
+}
+
+// HomeSales synthesizes the King County home sales multivariate grid with
+// the paper's seven attributes (price, #bedrooms, #bathrooms, living area,
+// lot size, build year, renovation year), averaged per cell. Price (index 0)
+// is the regression target.
+func HomeSales(seed int64, rows, cols int) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	wealth := smoothField(rng, rows, cols, 1+rows/16, 3)  // location premium
+	density := smoothField(rng, rows, cols, 1+rows/24, 2) // urban density
+	age := smoothField(rng, rows, cols, 1+rows/16, 2)     // neighborhood age
+	mask := maskFrom(density, emptyFrac)
+
+	attrs := []grid.Attribute{
+		{Name: "price", Agg: grid.Average},
+		{Name: "bedrooms", Agg: grid.Average, Integer: true},
+		{Name: "bathrooms", Agg: grid.Average, Integer: true},
+		{Name: "living", Agg: grid.Average},
+		{Name: "lot", Agg: grid.Average},
+		{Name: "built", Agg: grid.Average, Integer: true},
+		{Name: "renovated", Agg: grid.Average, Integer: true},
+	}
+	g := grid.New(rows, cols, attrs)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if !mask[r*cols+c] {
+				continue
+			}
+			// Per-cell jitter models the sampling noise of averaging the few
+			// actual sales inside each cell — real adjacent cells differ far
+			// more than the underlying neighborhood surfaces do.
+			living := (900 + 2600*wealth.at(r, c)) * (0.5 + rng.Float64())
+			beds := math.Round(1 + 4*wealth.at(r, c) + rng.Float64()*2)
+			baths := math.Round(1 + 2.5*wealth.at(r, c) + rng.Float64()*1.5)
+			lot := (2000 + 18000*(1-density.at(r, c))) * (0.4 + 1.2*rng.Float64())
+			built := math.Round(1930 + 85*(1-age.at(r, c)) + (rng.Float64()-0.5)*40)
+			reno := 0.0
+			if age.at(r, c) > 0.2 && rng.Float64() < 0.5 {
+				reno = math.Round(1990 + 25*rng.Float64())
+			}
+			price := (120*living + 15000*beds + 9000*baths + 0.8*lot +
+				600*(built-1930) + 350000*wealth.at(r, c)) * (0.85 + 0.3*rng.Float64())
+			g.SetVector(r, c, []float64{price, beds, baths, living, lot, built, reno})
+		}
+	}
+	return &Dataset{Name: "homesales", Grid: g, Bounds: kingCountyBounds, TargetAttr: 0}
+}
+
+// VehiclesUni synthesizes the Chicago abandoned vehicles univariate grid
+// (#service requests per cell).
+func VehiclesUni(seed int64, rows, cols int) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	intensity := smoothField(rng, rows, cols, 1+rows/20, 3)
+	mask := maskFrom(intensity, emptyFrac)
+	attrs := []grid.Attribute{{Name: "requests", Agg: grid.Sum, Integer: true}}
+	g := grid.New(rows, cols, attrs)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if !mask[r*cols+c] {
+				continue
+			}
+			g.Set(r, c, 0, skewedCount(rng, intensity.at(r, c), 300))
+		}
+	}
+	return &Dataset{Name: "vehicles-uni", Grid: g, Bounds: chicagoBounds, TargetAttr: 0}
+}
+
+// EarningsMulti synthesizes the NYC block-level earnings multivariate grid:
+// land area, water area, and job counts in three monthly-earnings bands.
+// The high-earnings band (index 4) is the regression target.
+func EarningsMulti(seed int64, rows, cols int) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	employment := smoothField(rng, rows, cols, 1+rows/20, 3)
+	affluence := smoothField(rng, rows, cols, 1+rows/16, 3)
+	water := smoothField(rng, rows, cols, 1+rows/12, 2)
+	mask := maskFrom(employment, emptyFrac)
+
+	attrs := []grid.Attribute{
+		{Name: "land", Agg: grid.Sum},
+		{Name: "water", Agg: grid.Sum},
+		{Name: "jobs_low", Agg: grid.Sum, Integer: true},  // ≤ $1250/month
+		{Name: "jobs_mid", Agg: grid.Sum, Integer: true},  // $1251 – $3333
+		{Name: "jobs_high", Agg: grid.Sum, Integer: true}, // ≥ $3333/month
+	}
+	g := grid.New(rows, cols, attrs)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if !mask[r*cols+c] {
+				continue
+			}
+			wf := water.at(r, c) * 0.3
+			land := 9000 * (1 - wf) * (0.9 + 0.2*rng.Float64())
+			waterArea := 9000 * wf * (0.9 + 0.2*rng.Float64())
+			jobs := skewedCount(rng, employment.at(r, c), 2000)
+			aff := affluence.at(r, c)
+			low := math.Round(jobs * (0.45 - 0.3*aff) * (0.8 + 0.4*rng.Float64()))
+			mid := math.Round(jobs * 0.35 * (0.8 + 0.4*rng.Float64()))
+			high := math.Round(jobs*(0.2+0.3*aff)*(0.9+0.2*rng.Float64()) + 0.002*land*aff)
+			g.SetVector(r, c, []float64{land, waterArea, low, mid, high})
+		}
+	}
+	return &Dataset{Name: "earnings-multi", Grid: g, Bounds: nycBounds, TargetAttr: 4}
+}
+
+// EarningsUni synthesizes the univariate NYC earnings grid (total #jobs).
+func EarningsUni(seed int64, rows, cols int) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	employment := smoothField(rng, rows, cols, 1+rows/20, 3)
+	mask := maskFrom(employment, emptyFrac)
+	attrs := []grid.Attribute{{Name: "jobs", Agg: grid.Sum, Integer: true}}
+	g := grid.New(rows, cols, attrs)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if !mask[r*cols+c] {
+				continue
+			}
+			g.Set(r, c, 0, skewedCount(rng, employment.at(r, c), 2000))
+		}
+	}
+	return &Dataset{Name: "earnings-uni", Grid: g, Bounds: nycBounds, TargetAttr: 0}
+}
+
+// LandUse synthesizes a demonstration dataset for the categorical-attribute
+// extension (§VI): population density (numeric) plus a land-use zone code
+// (categorical, 0=residential 1=commercial 2=industrial 3=park 4=water).
+// Zones are contiguous regions carved from a smooth field, so same-zone
+// neighbors dominate — the structure categorical-aware merging exploits.
+// Density (index 0) is the regression target.
+func LandUse(seed int64, rows, cols int) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	density := smoothField(rng, rows, cols, 1+rows/20, 3)
+	zoneField := smoothField(rng, rows, cols, 1+rows/10, 3)
+	mask := maskFrom(density, emptyFrac)
+	attrs := []grid.Attribute{
+		{Name: "density", Agg: grid.Average},
+		{Name: "zone", Agg: grid.Average, Categorical: true},
+	}
+	g := grid.New(rows, cols, attrs)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if !mask[r*cols+c] {
+				continue
+			}
+			zone := math.Floor(zoneField.at(r, c) * 5)
+			if zone > 4 {
+				zone = 4
+			}
+			d := 50 + 950*sq(density.at(r, c))*(0.9+0.2*rng.Float64())
+			if zone == 3 || zone == 4 { // parks and water are sparse
+				d *= 0.1
+			}
+			g.SetVector(r, c, []float64{d, zone})
+		}
+	}
+	return &Dataset{Name: "landuse", Grid: g, Bounds: chicagoBounds, TargetAttr: 0}
+}
+
+// Multivariate returns the three multivariate datasets the regression and
+// classification experiments use, in the paper's order.
+func Multivariate(seed int64, rows, cols int) []*Dataset {
+	return []*Dataset{
+		TaxiTripsMulti(seed, rows, cols),
+		HomeSales(seed+1, rows, cols),
+		EarningsMulti(seed+2, rows, cols),
+	}
+}
+
+// Univariate returns the three univariate datasets (taxi, vehicles,
+// earnings) the kriging and cell-reduction experiments use.
+func Univariate(seed int64, rows, cols int) []*Dataset {
+	return []*Dataset{
+		TaxiTripsUni(seed, rows, cols),
+		VehiclesUni(seed+1, rows, cols),
+		EarningsUni(seed+2, rows, cols),
+	}
+}
+
+// All returns all six datasets, multivariate first.
+func All(seed int64, rows, cols int) []*Dataset {
+	return append(Multivariate(seed, rows, cols), Univariate(seed+10, rows, cols)...)
+}
+
+// ByName builds the named dataset ("taxi-multi", "homesales",
+// "earnings-multi", "taxi-uni", "vehicles-uni", "earnings-uni"), or nil for
+// an unknown name.
+func ByName(name string, seed int64, rows, cols int) *Dataset {
+	switch name {
+	case "taxi-multi":
+		return TaxiTripsMulti(seed, rows, cols)
+	case "homesales":
+		return HomeSales(seed, rows, cols)
+	case "earnings-multi":
+		return EarningsMulti(seed, rows, cols)
+	case "taxi-uni":
+		return TaxiTripsUni(seed, rows, cols)
+	case "vehicles-uni":
+		return VehiclesUni(seed, rows, cols)
+	case "earnings-uni":
+		return EarningsUni(seed, rows, cols)
+	case "landuse":
+		return LandUse(seed, rows, cols)
+	}
+	return nil
+}
+
+// maskFrom marks the lowest `frac` of the field's cells as empty. Because
+// the field is smooth, the empty cells cluster into contiguous regions.
+func maskFrom(f *field, frac float64) []bool {
+	n := len(f.v)
+	threshold := quantile(f.v, frac)
+	mask := make([]bool, n)
+	for i, v := range f.v {
+		mask[i] = v > threshold
+	}
+	return mask
+}
+
+func quantile(v []float64, q float64) float64 {
+	sorted := make([]float64, len(v))
+	copy(sorted, v)
+	sort.Float64s(sorted)
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func sq(x float64) float64 { return x * x }
+
+// skewedCount draws an integer count with the heavy right skew of real urban
+// point data: most cells carry small counts (1-20) while hotspots reach
+// maxV. Small counts make the MAPE-style information loss highly sensitive
+// to blind merging, while their frequent exact ties let the ML-aware
+// framework merge large flat areas at zero loss — the combination behind the
+// paper's Fig. 5 vs Table V contrast.
+func skewedCount(rng *rand.Rand, intensity float64, maxV float64) float64 {
+	v := math.Round(1 + maxV*math.Pow(intensity, 5) + rng.Float64()*2.5)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}

@@ -1,0 +1,104 @@
+// Package datagen synthesizes the four real-world datasets of paper §IV-A2
+// (NYC taxi trips, King County home sales, Chicago abandoned vehicles, NYC
+// block-level earnings), which are not redistributable here. Every generator
+// is seeded and deterministic. Attribute surfaces are smoothed Gaussian
+// random fields, which gives them the one property the re-partitioning
+// framework and the spatial ML models actually depend on: positive spatial
+// autocorrelation (nearby cells have similar values). Value ranges, integer
+// vs. real types, aggregation semantics and empty-cell fractions are matched
+// to the paper's dataset descriptions. See DESIGN.md §1.4 for the full
+// substitution argument.
+package datagen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// field is a rows×cols scalar surface in [0, 1].
+type field struct {
+	rows, cols int
+	v          []float64
+}
+
+func (f *field) at(r, c int) float64 { return f.v[r*f.cols+c] }
+
+// smoothField builds a spatially autocorrelated surface: seeded white noise
+// smoothed by `passes` box-blur passes of the given radius, then min-max
+// normalized to [0, 1]. More passes / larger radius = smoother surface =
+// stronger autocorrelation (higher Moran's I).
+func smoothField(rng *rand.Rand, rows, cols, radius, passes int) *field {
+	v := make([]float64, rows*cols)
+	for i := range v {
+		v[i] = rng.Float64()
+	}
+	tmp := make([]float64, rows*cols)
+	for p := 0; p < passes; p++ {
+		boxBlur(v, tmp, rows, cols, radius)
+		v, tmp = tmp, v
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range v {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	for i := range v {
+		v[i] = (v[i] - lo) / span
+	}
+	return &field{rows: rows, cols: cols, v: v}
+}
+
+// boxBlur writes the box-blurred src into dst using a separable two-pass
+// (horizontal then vertical) mean filter with clamped borders.
+func boxBlur(src, dst []float64, rows, cols, radius int) {
+	mid := make([]float64, rows*cols)
+	// Horizontal pass with a sliding window.
+	for r := 0; r < rows; r++ {
+		base := r * cols
+		var sum float64
+		count := 0
+		for c := 0; c <= radius && c < cols; c++ {
+			sum += src[base+c]
+			count++
+		}
+		for c := 0; c < cols; c++ {
+			mid[base+c] = sum / float64(count)
+			if c+radius+1 < cols {
+				sum += src[base+c+radius+1]
+				count++
+			}
+			if c-radius >= 0 {
+				sum -= src[base+c-radius]
+				count--
+			}
+		}
+	}
+	// Vertical pass.
+	for c := 0; c < cols; c++ {
+		var sum float64
+		count := 0
+		for r := 0; r <= radius && r < rows; r++ {
+			sum += mid[r*cols+c]
+			count++
+		}
+		for r := 0; r < rows; r++ {
+			dst[r*cols+c] = sum / float64(count)
+			if r+radius+1 < rows {
+				sum += mid[(r+radius+1)*cols+c]
+				count++
+			}
+			if r-radius >= 0 {
+				sum -= mid[(r-radius)*cols+c]
+				count--
+			}
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+
+	"spatialrepart/internal/grid"
+)
+
+// TaxiRecords synthesizes n raw taxi-trip records (one per ride) whose
+// spatial density follows a smooth demand surface over the NYC bounds. Each
+// record carries the attribute values of the taxi multivariate schema for a
+// single ride: (1 pickup, #passengers, distance, fare). Aggregating them
+// with grid.FromRecords reproduces the grid-construction pipeline the paper
+// applies to the real TLC trip files.
+func TaxiRecords(seed int64, n int) ([]grid.Record, grid.Bounds, []grid.Attribute) {
+	rng := rand.New(rand.NewSource(seed))
+	const fieldRes = 64
+	demand := smoothField(rng, fieldRes, fieldRes, 5, 3)
+	b := nycBounds
+	attrs := []grid.Attribute{
+		{Name: "pickups", Agg: grid.Sum, Integer: true},
+		{Name: "passengers", Agg: grid.Sum, Integer: true},
+		{Name: "distance", Agg: grid.Sum},
+		{Name: "fare", Agg: grid.Sum},
+	}
+	recs := make([]grid.Record, 0, n)
+	for len(recs) < n {
+		lat := b.MinLat + rng.Float64()*(b.MaxLat-b.MinLat)
+		lon := b.MinLon + rng.Float64()*(b.MaxLon-b.MinLon)
+		fr := int((lat - b.MinLat) / (b.MaxLat - b.MinLat) * fieldRes)
+		fc := int((lon - b.MinLon) / (b.MaxLon - b.MinLon) * fieldRes)
+		if fr >= fieldRes {
+			fr = fieldRes - 1
+		}
+		if fc >= fieldRes {
+			fc = fieldRes - 1
+		}
+		// Rejection sampling against the demand surface.
+		if rng.Float64() > demand.at(fr, fc) {
+			continue
+		}
+		passengers := 1 + float64(rng.Intn(4))
+		distance := 0.5 + rng.ExpFloat64()*2.5
+		fare := 2.5 + 2.2*distance + rng.NormFloat64()*0.5
+		if fare < 2.5 {
+			fare = 2.5
+		}
+		recs = append(recs, grid.Record{
+			Lat:    lat,
+			Lon:    lon,
+			Values: []float64{1, passengers, math.Round(distance*100) / 100, math.Round(fare*100) / 100},
+		})
+	}
+	return recs, b, attrs
+}

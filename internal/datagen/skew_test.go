@@ -1,0 +1,74 @@
+package datagen
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSkewedCountDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 5000
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = skewedCount(rng, rng.Float64(), 500)
+	}
+	sort.Float64s(vals)
+	// Right-skew: the median sits far below the midpoint of the range.
+	median := vals[n/2]
+	if median > 100 {
+		t.Errorf("median = %v, want heavy low-count mass", median)
+	}
+	// But hotspots exist.
+	if vals[n-1] < 300 {
+		t.Errorf("max = %v, want hotspot values near maxV", vals[n-1])
+	}
+	// Counts are positive integers.
+	for _, v := range vals {
+		if v < 1 || v != float64(int64(v)) {
+			t.Fatalf("count %v is not a positive integer", v)
+		}
+	}
+}
+
+func TestSkewedCountTiesAreCommon(t *testing.T) {
+	// The framework's zero-loss merges rely on exact ties between adjacent
+	// small counts: with smooth intensity, ties must be frequent.
+	rng := rand.New(rand.NewSource(2))
+	ties := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		intensity := rng.Float64() * 0.4 // the low-count regime
+		a := skewedCount(rng, intensity, 500)
+		b := skewedCount(rng, intensity+0.005, 500)
+		if a == b {
+			ties++
+		}
+	}
+	if ties < trials/10 {
+		t.Errorf("ties = %d/%d, want at least 10%% for near-equal intensities", ties, trials)
+	}
+}
+
+func TestLandUseCategoricalDataset(t *testing.T) {
+	d := LandUse(5, 20, 20)
+	g := d.Grid
+	if !g.Attrs[1].Categorical {
+		t.Fatal("zone attribute must be categorical")
+	}
+	// Zone codes are integers in [0, 4].
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			if !g.Valid(r, c) {
+				continue
+			}
+			z := g.At(r, c, 1)
+			if z < 0 || z > 4 || z != float64(int(z)) {
+				t.Fatalf("zone code %v at (%d,%d)", z, r, c)
+			}
+		}
+	}
+	if ByName("landuse", 5, 20, 20) == nil {
+		t.Fatal("ByName should know landuse")
+	}
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"time"
+)
+
+// CellReductionRow is one point of Figs. 5 and 6: the cell reduction and the
+// re-partitioning time for one dataset, grid size and IFL threshold.
+type CellReductionRow struct {
+	Dataset      string
+	Size         string
+	Threshold    float64
+	InitialCells int
+	ValidCells   int
+	Groups       int // non-null cell-groups after re-partitioning
+	ReductionPct float64
+	IFL          float64
+	ReduceTime   time.Duration
+	Iterations   int
+}
+
+// CellReduction reproduces Figs. 5 and 6: it sweeps all six datasets, the
+// configured grid sizes, and the IFL thresholds, reporting the #spatial-cell
+// reduction (Fig. 5) and the elapsed re-partitioning time (Fig. 6).
+func CellReduction(cfg Config) ([]CellReductionRow, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	var rows []CellReductionRow
+	for _, size := range cfg.Sizes {
+		for _, d := range cfg.AllDatasets(size) {
+			for _, theta := range cfg.Thresholds {
+				red, rp, err := PrepareRepartitioning(d, theta)
+				if err != nil {
+					return nil, err
+				}
+				validCells := d.Grid.ValidCount()
+				groups := rp.ValidGroups()
+				rows = append(rows, CellReductionRow{
+					Dataset:      d.Name,
+					Size:         size.Name,
+					Threshold:    theta,
+					InitialCells: d.Grid.NumCells(),
+					ValidCells:   validCells,
+					Groups:       groups,
+					ReductionPct: 100 * (1 - float64(groups)/float64(validCells)),
+					IFL:          red.IFL,
+					ReduceTime:   red.ReduceTime,
+					Iterations:   rp.Iterations,
+				})
+			}
+		}
+	}
+	return rows, nil
+}

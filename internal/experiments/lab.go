@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+
+	"spatialrepart/internal/datagen"
+)
+
+// lab caches dataset builds and reductions within one experiment run, so
+// sweeps over models and thresholds do not redo identical preparation work.
+type lab struct {
+	cfg       Config
+	datasets  map[string]*datagen.Dataset
+	originals map[string]*Reduction
+	reparts   map[repKey]*Reduction
+	groups    map[repKey]int // valid group count for baseline budgets
+	baselines map[baseKey]*Reduction
+}
+
+type repKey struct {
+	dataset string
+	theta   float64
+}
+
+type baseKey struct {
+	dataset string
+	theta   float64
+	method  Method
+}
+
+func newLab(cfg Config) *lab {
+	l := &lab{
+		cfg:       cfg,
+		datasets:  map[string]*datagen.Dataset{},
+		originals: map[string]*Reduction{},
+		reparts:   map[repKey]*Reduction{},
+		groups:    map[repKey]int{},
+		baselines: map[baseKey]*Reduction{},
+	}
+	for _, d := range cfg.AllDatasets(cfg.ModelSize) {
+		l.datasets[d.Name] = d
+	}
+	return l
+}
+
+func (l *lab) dataset(name string) (*datagen.Dataset, error) {
+	d, ok := l.datasets[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown dataset %q", name)
+	}
+	return d, nil
+}
+
+func (l *lab) original(name string) (*Reduction, error) {
+	if r, ok := l.originals[name]; ok {
+		return r, nil
+	}
+	d, err := l.dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	r, err := PrepareOriginal(d)
+	if err != nil {
+		return nil, err
+	}
+	l.originals[name] = r
+	return r, nil
+}
+
+func (l *lab) repartition(name string, theta float64) (*Reduction, error) {
+	k := repKey{name, theta}
+	if r, ok := l.reparts[k]; ok {
+		return r, nil
+	}
+	d, err := l.dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	r, rp, err := PrepareRepartitioning(d, theta)
+	if err != nil {
+		return nil, err
+	}
+	l.reparts[k] = r
+	l.groups[k] = rp.ValidGroups()
+	return r, nil
+}
+
+func (l *lab) baseline(m Method, name string, theta float64) (*Reduction, error) {
+	k := baseKey{name, theta, m}
+	if r, ok := l.baselines[k]; ok {
+		return r, nil
+	}
+	if _, err := l.repartition(name, theta); err != nil {
+		return nil, err
+	}
+	d, err := l.dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	t := l.groups[repKey{name, theta}]
+	r, err := PrepareBaseline(m, d, t)
+	if err != nil {
+		return nil, err
+	}
+	l.baselines[k] = r
+	return r, nil
+}
+
+// reduction dispatches on method (Original ignores theta).
+func (l *lab) reduction(m Method, name string, theta float64) (*Reduction, error) {
+	switch m {
+	case MethodOriginal:
+		return l.original(name)
+	case MethodRepartitioning:
+		return l.repartition(name, theta)
+	default:
+		return l.baseline(m, name, theta)
+	}
+}

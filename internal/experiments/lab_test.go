@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestLabCachesReductions(t *testing.T) {
+	cfg := quickConfig()
+	l := newLab(cfg)
+	a, err := l.repartition("taxi-uni", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.repartition("taxi-uni", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("repartition not cached")
+	}
+	o1, _ := l.original("taxi-uni")
+	o2, _ := l.original("taxi-uni")
+	if o1 != o2 {
+		t.Error("original not cached")
+	}
+	s1, err := l.baseline(MethodSampling, "taxi-uni", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := l.baseline(MethodSampling, "taxi-uni", 0.1)
+	if s1 != s2 {
+		t.Error("baseline not cached")
+	}
+}
+
+func TestLabUnknownDataset(t *testing.T) {
+	l := newLab(quickConfig())
+	if _, err := l.dataset("nope"); err == nil {
+		t.Error("want unknown-dataset error")
+	}
+	if _, err := l.original("nope"); err == nil {
+		t.Error("want unknown-dataset error via original")
+	}
+	if _, err := l.repartition("nope", 0.1); err == nil {
+		t.Error("want unknown-dataset error via repartition")
+	}
+	if _, err := l.baseline(MethodSampling, "nope", 0.1); err == nil {
+		t.Error("want unknown-dataset error via baseline")
+	}
+}
+
+func TestLabReductionDispatch(t *testing.T) {
+	l := newLab(quickConfig())
+	orig, err := l.reduction(MethodOriginal, "vehicles-uni", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Method != MethodOriginal {
+		t.Errorf("method = %v", orig.Method)
+	}
+	rep, err := l.reduction(MethodRepartitioning, "vehicles-uni", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Method != MethodRepartitioning {
+		t.Errorf("method = %v", rep.Method)
+	}
+	for _, m := range []Method{MethodSampling, MethodRegionalization, MethodClustering} {
+		r, err := l.reduction(m, "vehicles-uni", 0.1)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if r.Method != m {
+			t.Errorf("method = %v, want %v", r.Method, m)
+		}
+	}
+}
+
+func TestLabBaselineMatchesRepartitionBudget(t *testing.T) {
+	l := newLab(quickConfig())
+	rep, err := l.repartition("earnings-uni", 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := l.baseline(MethodSampling, "earnings-uni", 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sampling hits the budget exactly (no contiguity slack).
+	if s.Instances() != rep.Instances() {
+		t.Errorf("sampling instances = %d, want %d", s.Instances(), rep.Instances())
+	}
+}

@@ -1,0 +1,549 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"spatialrepart/internal/boost"
+	"spatialrepart/internal/core"
+	"spatialrepart/internal/datagen"
+	"spatialrepart/internal/forest"
+	"spatialrepart/internal/grid"
+	"spatialrepart/internal/knn"
+	"spatialrepart/internal/kriging"
+	"spatialrepart/internal/metrics"
+	"spatialrepart/internal/regress"
+	"spatialrepart/internal/sccluster"
+	"spatialrepart/internal/svm"
+)
+
+// ModelKind names one of the paper's spatial ML models.
+type ModelKind string
+
+// The Table II regression/kriging models and Table III classifiers.
+const (
+	ModelLag     ModelKind = "Spatial Lag"
+	ModelError   ModelKind = "Spatial Error"
+	ModelGWR     ModelKind = "GWR"
+	ModelSVR     ModelKind = "SVR"
+	ModelRF      ModelKind = "Random Forest"
+	ModelKriging ModelKind = "Kriging"
+	ModelGB      ModelKind = "Gradient Boosting"
+	ModelKNN     ModelKind = "KNN"
+)
+
+// RegressionModels lists the Table II(a)-(e) models (multivariate datasets).
+var RegressionModels = []ModelKind{ModelLag, ModelError, ModelGWR, ModelSVR, ModelRF}
+
+// ClassificationModels lists the Table III models.
+var ClassificationModels = []ModelKind{ModelGB, ModelKNN}
+
+// RegressionResult carries one train/evaluate run's outputs. Errors are
+// measured at the INPUT-CELL level: the model predicts its (possibly
+// group-level) test instances, the predictions are distributed back onto the
+// instances' member cells via the §III-C reconstruction, and MAE/RMSE/SE/R²
+// compare those per-cell predictions against the original grid — the same
+// footing for every reduction method.
+type RegressionResult struct {
+	MAE, RMSE float64
+	SE, R2    float64
+	TrainTime time.Duration
+	TrainMem  uint64
+}
+
+// RunRegression trains the given model on the reduction's 80% instance split
+// (Table I hyperparameters) and evaluates cell-level errors on the 20%
+// hold-out instances' member cells. Error metrics are averaged over
+// cfg.Repeats different splits; training time and memory come from the
+// first split.
+func RunRegression(kind ModelKind, red *Reduction, d *datagen.Dataset, cfg Config) (*RegressionResult, error) {
+	repeats := cfg.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	var agg *RegressionResult
+	for rep := 0; rep < repeats; rep++ {
+		res, err := runRegressionOnce(kind, red, d, cfg, cfg.Seed+int64(rep)*7919)
+		if err != nil {
+			return nil, err
+		}
+		if agg == nil {
+			agg = res
+			continue
+		}
+		agg.MAE += res.MAE
+		agg.RMSE += res.RMSE
+		agg.SE += res.SE
+		agg.R2 += res.R2
+	}
+	n := float64(repeats)
+	agg.MAE /= n
+	agg.RMSE /= n
+	agg.SE /= n
+	agg.R2 /= n
+	return agg, nil
+}
+
+func runRegressionOnce(kind ModelKind, red *Reduction, d *datagen.Dataset, cfg Config, seed int64) (*RegressionResult, error) {
+	data := red.Data
+	trainIdx, testIdx := data.Split(seed, cfg.TestFraction)
+	if len(trainIdx) == 0 || len(testIdx) == 0 {
+		return nil, fmt.Errorf("experiments: dataset too small to split (%d instances)", data.Len())
+	}
+	targetAgg := d.Grid.Attrs[d.TargetAttr].Agg
+
+	// Kriging interpolates a point-support variable: train it on the
+	// per-cell representative target (group value / size for sums).
+	yModel := data.Y
+	if kind == ModelKriging && targetAgg == grid.Sum {
+		yModel = make([]float64, data.Len())
+		for i, y := range data.Y {
+			yModel[i] = y / float64(data.GroupSize[i])
+		}
+	}
+
+	xTr, _, latTr, lonTr := data.Subset(trainIdx)
+	xTe, _, latTe, lonTe := data.Subset(testIdx)
+	yTr := subsetVals(yModel, trainIdx)
+	isTrain := make([]bool, data.Len())
+	for _, i := range trainIdx {
+		isTrain[i] = true
+	}
+	var trainMean float64
+	for _, y := range yTr {
+		trainMean += y
+	}
+	trainMean /= float64(len(yTr))
+
+	var pred []float64
+	var elapsed time.Duration
+	var mem uint64
+	var err error
+
+	switch kind {
+	case ModelLag:
+		w := subWeights(data, trainIdx)
+		var m *regress.Lag
+		elapsed, mem, err = measure(func() error {
+			var e error
+			m, e = regress.FitLag(xTr, yTr, w)
+			return e
+		})
+		if err != nil {
+			return nil, err
+		}
+		lagY := observedLag(data, testIdx, isTrain, yModel, trainMean)
+		pred, err = m.Predict(xTe, lagY)
+	case ModelError:
+		w := subWeights(data, trainIdx)
+		var m *regress.Error
+		elapsed, mem, err = measure(func() error {
+			var e error
+			m, e = regress.FitError(xTr, yTr, w)
+			return e
+		})
+		if err != nil {
+			return nil, err
+		}
+		fitted, e := m.Predict(xTr, nil)
+		if e != nil {
+			return nil, e
+		}
+		resid := make([]float64, data.Len())
+		for i, j := range trainIdx {
+			resid[j] = yTr[i] - fitted[i]
+		}
+		lagR := observedLag(data, testIdx, isTrain, resid, 0)
+		pred, err = m.Predict(xTe, lagR)
+	case ModelGWR:
+		var m *regress.GWR
+		elapsed, mem, err = measure(func() error {
+			var e error
+			m, e = regress.FitGWR(xTr, yTr, latTr, lonTr, regress.GWROptions{})
+			return e
+		})
+		if err != nil {
+			return nil, err
+		}
+		pred, err = m.Predict(xTe, latTe, lonTe)
+	case ModelSVR:
+		xs, ys, scale, yMean, yStd := standardizeXY(xTr, yTr, cfg)
+		var m *svm.SVR
+		elapsed, mem, err = measure(func() error {
+			var e error
+			m, e = svm.FitSVR(xs, ys, svm.Options{})
+			return e
+		})
+		if err != nil {
+			return nil, err
+		}
+		var raw []float64
+		raw, err = m.Predict(scale.Transform(xTe))
+		if err == nil {
+			pred = make([]float64, len(raw))
+			for i, v := range raw {
+				pred[i] = v*yStd + yMean
+			}
+		}
+	case ModelRF:
+		var m *forest.Forest
+		elapsed, mem, err = measure(func() error {
+			var e error
+			m, e = forest.FitForest(xTr, yTr, forest.Options{Seed: cfg.Seed})
+			return e
+		})
+		if err != nil {
+			return nil, err
+		}
+		pred, err = m.Predict(xTe)
+	case ModelKriging:
+		var m *kriging.Kriging
+		elapsed, mem, err = measure(func() error {
+			var e error
+			m, e = kriging.FitKriging(latTr, lonTr, yTr, kriging.Options{})
+			return e
+		})
+		if err != nil {
+			return nil, err
+		}
+		pred, err = m.Predict(latTe, lonTe)
+	default:
+		return nil, fmt.Errorf("experiments: %q is not a regression model", kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Distribute test-instance predictions onto their member cells (§III-C)
+	// and compare against the original grid.
+	cellPred, cellTruth := distributePredictions(red, d, testIdx, pred, kind == ModelKriging)
+	if len(cellPred) == 0 {
+		return nil, fmt.Errorf("experiments: no test cells to evaluate")
+	}
+	res := &RegressionResult{TrainTime: elapsed, TrainMem: mem}
+	if res.MAE, err = metrics.MAE(cellPred, cellTruth); err != nil {
+		return nil, err
+	}
+	if res.RMSE, err = metrics.RMSE(cellPred, cellTruth); err != nil {
+		return nil, err
+	}
+	if res.SE, err = metrics.StandardError(cellPred, cellTruth, data.NumFeatures()+1); err != nil {
+		return nil, err
+	}
+	if r2, e := metrics.PseudoR2(cellPred, cellTruth); e == nil {
+		res.R2 = r2
+	}
+	return res, nil
+}
+
+// distributePredictions maps test-instance predictions onto member cells.
+// When repAlready is true the prediction is already a per-cell
+// representative (the kriging path); otherwise sum-aggregated predictions
+// are split across the instance's cells.
+func distributePredictions(red *Reduction, d *datagen.Dataset, testIdx []int, pred []float64, repAlready bool) (cellPred, cellTruth []float64) {
+	data := red.Data
+	targetAgg := d.Grid.Attrs[d.TargetAttr].Agg
+	predOf := make(map[int]float64, len(testIdx))
+	for i, inst := range testIdx {
+		predOf[inst] = pred[i]
+	}
+	for idx, inst := range red.CellInstance {
+		p, ok := predOf[inst]
+		if inst < 0 || !ok {
+			continue
+		}
+		r, c := d.Grid.CellAt(idx)
+		if !d.Grid.Valid(r, c) {
+			continue
+		}
+		if targetAgg == grid.Sum && !repAlready {
+			p /= float64(data.GroupSize[inst])
+		}
+		cellPred = append(cellPred, p)
+		cellTruth = append(cellTruth, d.Grid.At(r, c, d.TargetAttr))
+	}
+	return cellPred, cellTruth
+}
+
+func subsetVals(v []float64, idx []int) []float64 {
+	out := make([]float64, len(idx))
+	for i, j := range idx {
+		out[i] = v[j]
+	}
+	return out
+}
+
+// standardizeXY standardizes features and response for the SVR (whose RBF
+// gamma assumes unit-scale inputs), optionally subsampling very large
+// training sets (Config.SVRMaxTrain).
+func standardizeXY(x [][]float64, y []float64, cfg Config) (xs [][]float64, ys []float64, s *Scaler, yMean, yStd float64) {
+	if cfg.SVRMaxTrain > 0 && len(x) > cfg.SVRMaxTrain {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		idx := rng.Perm(len(x))[:cfg.SVRMaxTrain]
+		sub := make([][]float64, len(idx))
+		suby := make([]float64, len(idx))
+		for i, j := range idx {
+			sub[i] = x[j]
+			suby[i] = y[j]
+		}
+		x, y = sub, suby
+	}
+	s = FitScaler(x)
+	xs = s.Transform(x)
+	for _, v := range y {
+		yMean += v
+	}
+	yMean /= float64(len(y))
+	for _, v := range y {
+		d := v - yMean
+		yStd += d * d
+	}
+	yStd = math.Sqrt(yStd / float64(len(y)))
+	if yStd == 0 {
+		yStd = 1
+	}
+	ys = make([]float64, len(y))
+	for i, v := range y {
+		ys[i] = (v - yMean) / yStd
+	}
+	return xs, ys, s, yMean, yStd
+}
+
+// ClassificationResult carries one classifier run's outputs. Like
+// regression, the F1 score is computed at the input-cell level with class
+// bins fixed on the ORIGINAL dataset's target distribution, so every method
+// answers the same 5-class question about the same cells.
+type ClassificationResult struct {
+	F1        float64
+	Accuracy  float64
+	TrainTime time.Duration
+	TrainMem  uint64
+}
+
+// RunClassification bins the target into cfg.Classes quantile classes
+// (low … high, §IV-C2) defined on the original grid, trains the classifier
+// on the reduction's 80% instances, and reports cell-level weighted F1 on
+// the hold-out instances' member cells, averaged over cfg.Repeats splits.
+func RunClassification(kind ModelKind, red *Reduction, d *datagen.Dataset, cfg Config) (*ClassificationResult, error) {
+	repeats := cfg.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	var agg *ClassificationResult
+	for rep := 0; rep < repeats; rep++ {
+		res, err := runClassificationOnce(kind, red, d, cfg, cfg.Seed+int64(rep)*7919)
+		if err != nil {
+			return nil, err
+		}
+		if agg == nil {
+			agg = res
+			continue
+		}
+		agg.F1 += res.F1
+		agg.Accuracy += res.Accuracy
+	}
+	n := float64(repeats)
+	agg.F1 /= n
+	agg.Accuracy /= n
+	return agg, nil
+}
+
+func runClassificationOnce(kind ModelKind, red *Reduction, d *datagen.Dataset, cfg Config, seed int64) (*ClassificationResult, error) {
+	data := red.Data
+	trainIdx, testIdx := data.Split(seed, cfg.TestFraction)
+	if len(trainIdx) == 0 || len(testIdx) == 0 {
+		return nil, fmt.Errorf("experiments: dataset too small to split (%d instances)", data.Len())
+	}
+	// Class definition: quantiles of the original grid's target values.
+	cuts, err := metrics.Quantiles(originalTargets(d), cfg.Classes)
+	if err != nil {
+		return nil, err
+	}
+	// Instance labels: the bin of the per-cell representative value.
+	targetAgg := d.Grid.Attrs[d.TargetAttr].Agg
+	rep := make([]float64, data.Len())
+	for i, y := range data.Y {
+		if targetAgg == grid.Sum {
+			rep[i] = y / float64(data.GroupSize[i])
+		} else {
+			rep[i] = y
+		}
+	}
+	labels := metrics.Discretize(rep, cuts)
+
+	// Instance features at per-cell scale: sum-aggregated feature columns
+	// are divided by group size, so the feature→class relationship does not
+	// depend on how many cells an instance happens to aggregate.
+	repX := representativeFeatures(data, d)
+	xTr := subsetRows(repX, trainIdx)
+	xTe := subsetRows(repX, testIdx)
+	lTr := subsetInts(labels, trainIdx)
+	scaler := FitScaler(xTr)
+	xsTr := scaler.Transform(xTr)
+	xsTe := scaler.Transform(xTe)
+
+	var pred []int
+	var elapsed time.Duration
+	var mem uint64
+	switch kind {
+	case ModelGB:
+		var m *boost.Classifier
+		elapsed, mem, err = measure(func() error {
+			var e error
+			m, e = boost.FitClassifier(xsTr, lTr, boost.Options{})
+			return e
+		})
+		if err != nil {
+			return nil, err
+		}
+		pred, err = m.Predict(xsTe)
+	case ModelKNN:
+		var m *knn.Classifier
+		elapsed, mem, err = measure(func() error {
+			var e error
+			m, e = knn.FitClassifier(xsTr, lTr, knn.Options{})
+			return e
+		})
+		if err != nil {
+			return nil, err
+		}
+		pred, err = m.Predict(xsTe)
+	default:
+		return nil, fmt.Errorf("experiments: %q is not a classification model", kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Cell-level comparison: predicted instance class → member cells; truth
+	// is the original cell value's bin.
+	predOf := make(map[int]int, len(testIdx))
+	for i, inst := range testIdx {
+		predOf[inst] = pred[i]
+	}
+	var cellPred, cellTruth []int
+	for idx, inst := range red.CellInstance {
+		p, ok := predOf[inst]
+		if inst < 0 || !ok {
+			continue
+		}
+		r, c := d.Grid.CellAt(idx)
+		if !d.Grid.Valid(r, c) {
+			continue
+		}
+		cellPred = append(cellPred, p)
+		cellTruth = append(cellTruth, metrics.Discretize([]float64{d.Grid.At(r, c, d.TargetAttr)}, cuts)[0])
+	}
+	res := &ClassificationResult{TrainTime: elapsed, TrainMem: mem}
+	if res.F1, err = metrics.WeightedF1(cellPred, cellTruth); err != nil {
+		return nil, err
+	}
+	if res.Accuracy, err = metrics.Accuracy(cellPred, cellTruth); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// representativeFeatures converts each instance's feature vector to per-cell
+// scale: columns backed by sum-aggregated attributes are divided by the
+// instance's group size (§III-C), averaged columns pass through.
+func representativeFeatures(data *core.Dataset, d *datagen.Dataset) [][]float64 {
+	// Feature columns are the grid attributes minus the target, in order.
+	isSum := make([]bool, 0, data.NumFeatures())
+	for k, a := range d.Grid.Attrs {
+		if k == d.TargetAttr {
+			continue
+		}
+		isSum = append(isSum, a.Agg == grid.Sum)
+	}
+	out := make([][]float64, data.Len())
+	for i, row := range data.X {
+		rep := make([]float64, len(row))
+		size := float64(data.GroupSize[i])
+		for j, v := range row {
+			if j < len(isSum) && isSum[j] {
+				rep[j] = v / size
+			} else {
+				rep[j] = v
+			}
+		}
+		out[i] = rep
+	}
+	return out
+}
+
+func subsetRows(x [][]float64, idx []int) [][]float64 {
+	out := make([][]float64, len(idx))
+	for i, j := range idx {
+		out[i] = x[j]
+	}
+	return out
+}
+
+func originalTargets(d *datagen.Dataset) []float64 {
+	var out []float64
+	for r := 0; r < d.Grid.Rows; r++ {
+		for c := 0; c < d.Grid.Cols; c++ {
+			if d.Grid.Valid(r, c) {
+				out = append(out, d.Grid.At(r, c, d.TargetAttr))
+			}
+		}
+	}
+	return out
+}
+
+func subsetInts(v []int, idx []int) []int {
+	out := make([]int, len(idx))
+	for i, j := range idx {
+		out[i] = v[j]
+	}
+	return out
+}
+
+// ClusteringResult carries one clustering run's outputs.
+type ClusteringResult struct {
+	Labels    []int // per instance
+	TrainTime time.Duration
+	TrainMem  uint64
+}
+
+// RunClustering applies spatially constrained hierarchical clustering to all
+// instances, producing cfg.ClusterK clusters. Clustering is unsupervised:
+// the feature space is ALL grid attributes (the target included) at
+// per-cell representative scale, standardized; instances are weighted by
+// the number of input cells they represent. Together the representatives
+// and weights make clustering a reduced dataset approximate clustering the
+// original cells — the premise of the Table IV comparison.
+func RunClustering(red *Reduction, d *datagen.Dataset, cfg Config) (*ClusteringResult, error) {
+	data := red.Data
+	feats := representativeFeatures(data, d)
+	// Append the target attribute (at representative scale) so univariate
+	// datasets — whose X is empty — cluster on their single attribute.
+	targetAgg := d.Grid.Attrs[d.TargetAttr].Agg
+	full := make([][]float64, data.Len())
+	for i, row := range feats {
+		y := data.Y[i]
+		if targetAgg == grid.Sum {
+			y /= float64(data.GroupSize[i])
+		}
+		full[i] = append(append(make([]float64, 0, len(row)+1), row...), y)
+	}
+	scaler := FitScaler(full)
+	xs := scaler.Transform(full)
+	sizes := make([]float64, data.Len())
+	for i, s := range data.GroupSize {
+		sizes[i] = float64(s)
+	}
+	var labels []int
+	elapsed, mem, err := measure(func() error {
+		var e error
+		labels, e = sccluster.ClusterWeighted(xs, data.Neighbors, sizes, cfg.ClusterK)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ClusteringResult{Labels: labels, TrainTime: elapsed, TrainMem: mem}, nil
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+)
+
+// methodLabel renders a method with its threshold ("Re-partitioning@0.05").
+func methodLabel(m Method, theta float64) string {
+	if m == MethodOriginal {
+		return string(m)
+	}
+	return fmt.Sprintf("%s@%.2f", m, theta)
+}
+
+// PrintCellReduction renders Figs. 5-6 rows.
+func PrintCellReduction(w io.Writer, rows []CellReductionRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "dataset\tsize\tIFL-θ\tcells\tvalid\tgroups\treduction%\tIFL\ttime\titers")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%d\t%d\t%d\t%.1f\t%.4f\t%s\t%d\n",
+			r.Dataset, r.Size, r.Threshold, r.InitialCells, r.ValidCells,
+			r.Groups, r.ReductionPct, r.IFL, r.ReduceTime.Round(time.Millisecond), r.Iterations)
+	}
+	tw.Flush()
+}
+
+// PrintTrainCosts renders Figs. 7-10 rows.
+func PrintTrainCosts(w io.Writer, rows []TrainCostRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "model\tdataset\tmethod\tinstances\ttrain-time\ttime-red%\ttrain-mem\tmem-red%")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%s\t%.1f\t%s\t%.1f\n",
+			r.Model, r.Dataset, methodLabel(r.Method, r.Threshold), r.Instances,
+			r.TrainTime.Round(time.Microsecond), r.TimePct, formatBytes(r.TrainMem), r.MemPct)
+	}
+	tw.Flush()
+}
+
+// PrintTable2 renders Table II rows.
+func PrintTable2(w io.Writer, rows []ErrorRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "model\tdataset\tmethod\tSE\tR2\tMAE\tRMSE\tIFL\tinstances")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%d\n",
+			r.Model, r.Dataset, methodLabel(r.Method, r.Threshold),
+			r.SE, r.R2, r.MAE, r.RMSE, r.IFL, r.Instances)
+	}
+	tw.Flush()
+}
+
+// PrintTable3 renders Table III rows.
+func PrintTable3(w io.Writer, rows []F1Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "model\tdataset\tmethod\tF1\taccuracy")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.3f\t%.3f\n",
+			r.Model, r.Dataset, methodLabel(r.Method, r.Threshold), r.F1, r.Accuracy)
+	}
+	tw.Flush()
+}
+
+// PrintTable4 renders Table IV rows.
+func PrintTable4(w io.Writer, rows []AgreementRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "dataset\tmethod\tagreement%")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.2f\n", r.Dataset, methodLabel(r.Method, r.Threshold), r.Agreement)
+	}
+	tw.Flush()
+}
+
+// PrintTable5 renders Table V rows.
+func PrintTable5(w io.Writer, rows []HomogeneousRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "dataset\tmerge-2-rows\tmerge-2-cols\tmerge-both\tML-aware-IFL@θmax\tML-aware-red%")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\t%.3f\t%.1f\n",
+			r.Dataset, r.MergeRows, r.MergeCols, r.MergeBoth, r.MLAwareIFL, r.MLAwareReductionPct)
+	}
+	tw.Flush()
+}
+
+// PrintAllocationAblation renders allocation-ablation rows.
+func PrintAllocationAblation(w io.Writer, rows []AllocationAblationRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "dataset\tIFL-θ\tIFL-best-of\tIFL-mean-only\tmode-benefit%")
+	for _, r := range rows {
+		benefit := 0.0
+		if r.IFLMeanOnly > 0 {
+			benefit = 100 * (r.IFLMeanOnly - r.IFLBestOf) / r.IFLMeanOnly
+		}
+		fmt.Fprintf(tw, "%s\t%.2f\t%.4f\t%.4f\t%.1f\n",
+			r.Dataset, r.Threshold, r.IFLBestOf, r.IFLMeanOnly, benefit)
+	}
+	tw.Flush()
+}
+
+// PrintExtractorAblation renders extractor-ablation rows.
+func PrintExtractorAblation(w io.Writer, rows []ExtractorAblationRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "dataset\tIFL-θ\tgreedy-groups\tgreedy-IFL\tquadtree-groups\tquadtree-IFL")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.2f\t%d\t%.4f\t%d\t%.4f\n",
+			r.Dataset, r.Threshold, r.GreedyGroups, r.GreedyIFL, r.QuadtreeGroups, r.QuadtreeIFL)
+	}
+	tw.Flush()
+}
+
+// PrintAblation renders schedule-ablation rows.
+func PrintAblation(w io.Writer, rows []AblationRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "dataset\tIFL-θ\tschedule\tgroups\tIFL\titers\ttime")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.2f\t%s\t%d\t%.4f\t%d\t%s\n",
+			r.Dataset, r.Threshold, r.Schedule, r.Groups, r.IFL, r.Iterations,
+			r.Time.Round(time.Millisecond))
+	}
+	tw.Flush()
+}
+
+func formatBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2fKiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPrintTrainCosts(t *testing.T) {
+	rows := []TrainCostRow{
+		{Model: ModelLag, Dataset: "taxi-multi", Method: MethodOriginal, Instances: 100, TrainTime: time.Millisecond, TrainMem: 2048},
+		{Model: ModelLag, Dataset: "taxi-multi", Method: MethodRepartitioning, Threshold: 0.05, Instances: 60, TrainTime: 500 * time.Microsecond, TrainMem: 1024, TimePct: 50, MemPct: 50},
+	}
+	var buf bytes.Buffer
+	PrintTrainCosts(&buf, rows)
+	out := buf.String()
+	for _, want := range []string{"Spatial Lag", "Original", "Re-partitioning@0.05", "50.0", "2.00KiB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrintTable2(t *testing.T) {
+	rows := []ErrorRow{{Model: ModelSVR, Dataset: "homesales", Method: MethodSampling, Threshold: 0.1, MAE: 1.5, RMSE: 2.5, IFL: 0.08, Instances: 42}}
+	var buf bytes.Buffer
+	PrintTable2(&buf, rows)
+	if !strings.Contains(buf.String(), "Sampling@0.10") || !strings.Contains(buf.String(), "1.500") {
+		t.Errorf("bad rendering:\n%s", buf.String())
+	}
+}
+
+func TestPrintTable3(t *testing.T) {
+	rows := []F1Row{{Model: ModelGB, Dataset: "taxi-multi", Method: MethodOriginal, F1: 0.93, Accuracy: 0.94}}
+	var buf bytes.Buffer
+	PrintTable3(&buf, rows)
+	if !strings.Contains(buf.String(), "0.930") {
+		t.Errorf("bad rendering:\n%s", buf.String())
+	}
+}
+
+func TestPrintTable4(t *testing.T) {
+	rows := []AgreementRow{{Dataset: "taxi-uni", Method: MethodClustering, Threshold: 0.15, Agreement: 97.5}}
+	var buf bytes.Buffer
+	PrintTable4(&buf, rows)
+	if !strings.Contains(buf.String(), "97.50") || !strings.Contains(buf.String(), "Clustering@0.15") {
+		t.Errorf("bad rendering:\n%s", buf.String())
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		in   uint64
+		want string
+	}{
+		{512, "512B"},
+		{2048, "2.00KiB"},
+		{3 << 20, "3.00MiB"},
+		{5 << 30, "5.00GiB"},
+	}
+	for _, c := range cases {
+		if got := formatBytes(c.in); got != c.want {
+			t.Errorf("formatBytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMethodLabel(t *testing.T) {
+	if got := methodLabel(MethodOriginal, 0.5); got != "Original" {
+		t.Errorf("original label = %q", got)
+	}
+	if got := methodLabel(MethodSampling, 0.05); got != "Sampling@0.05" {
+		t.Errorf("sampling label = %q", got)
+	}
+}

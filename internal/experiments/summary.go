@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// Table2Summary condenses one (model, dataset, threshold) cell of Table II
+// into the paper's two headline comparisons: the error increase of
+// re-partitioning over training on the original grid (§IV-D1), and whether
+// re-partitioning beats each baseline (§IV-D2). RMSE is the comparison
+// metric (every model reports it).
+type Table2Summary struct {
+	Model     ModelKind
+	Dataset   string
+	Threshold float64
+	// RepartVsOriginalPct is the percent increase of the re-partitioned
+	// RMSE over the original-grid RMSE (negative = re-partitioning beat the
+	// original).
+	RepartVsOriginalPct float64
+	BeatsSampling       bool
+	BeatsRegional       bool
+	BeatsClustering     bool
+}
+
+// SummarizeTable2 aggregates raw Table II rows.
+func SummarizeTable2(rows []ErrorRow) []Table2Summary {
+	type key struct {
+		model   ModelKind
+		dataset string
+		theta   float64
+	}
+	type group struct {
+		orig, repart, sampling, regional, clustering float64
+		haveOrig                                     bool
+	}
+	groups := map[key]*group{}
+	origRMSE := map[string]float64{} // model|dataset → original RMSE
+	for _, r := range rows {
+		if r.Method == MethodOriginal {
+			origRMSE[string(r.Model)+"|"+r.Dataset] = r.RMSE
+			continue
+		}
+		k := key{r.Model, r.Dataset, r.Threshold}
+		g := groups[k]
+		if g == nil {
+			g = &group{}
+			groups[k] = g
+		}
+		switch r.Method {
+		case MethodRepartitioning:
+			g.repart = r.RMSE
+		case MethodSampling:
+			g.sampling = r.RMSE
+		case MethodRegionalization:
+			g.regional = r.RMSE
+		case MethodClustering:
+			g.clustering = r.RMSE
+		}
+	}
+	var out []Table2Summary
+	for k, g := range groups {
+		orig, ok := origRMSE[string(k.model)+"|"+k.dataset]
+		if !ok || orig == 0 || g.repart == 0 {
+			continue
+		}
+		out = append(out, Table2Summary{
+			Model:               k.model,
+			Dataset:             k.dataset,
+			Threshold:           k.theta,
+			RepartVsOriginalPct: 100 * (g.repart - orig) / orig,
+			BeatsSampling:       g.repart < g.sampling,
+			BeatsRegional:       g.repart < g.regional,
+			BeatsClustering:     g.repart < g.clustering,
+		})
+	}
+	sortSummaries(out)
+	return out
+}
+
+// WinCounts tallies how often re-partitioning beats each baseline across the
+// summaries — the §IV-D2 "outperforms the baselines" claim in one line.
+type WinCounts struct {
+	Total                                       int
+	VsSampling, VsRegionalization, VsClustering int
+}
+
+// CountWins aggregates the summaries into win totals.
+func CountWins(sums []Table2Summary) WinCounts {
+	w := WinCounts{Total: len(sums)}
+	for _, s := range sums {
+		if s.BeatsSampling {
+			w.VsSampling++
+		}
+		if s.BeatsRegional {
+			w.VsRegionalization++
+		}
+		if s.BeatsClustering {
+			w.VsClustering++
+		}
+	}
+	return w
+}
+
+// PrintTable2Summary renders the summaries and the win tally.
+func PrintTable2Summary(w io.Writer, sums []Table2Summary) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "model\tdataset\tIFL-θ\tRMSE-vs-original%\tbeats-sampling\tbeats-regionalization\tbeats-clustering")
+	for _, s := range sums {
+		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%+.1f\t%v\t%v\t%v\n",
+			s.Model, s.Dataset, s.Threshold, s.RepartVsOriginalPct,
+			s.BeatsSampling, s.BeatsRegional, s.BeatsClustering)
+	}
+	tw.Flush()
+	wc := CountWins(sums)
+	fmt.Fprintf(w, "re-partitioning wins: vs sampling %d/%d, vs regionalization %d/%d, vs clustering %d/%d\n",
+		wc.VsSampling, wc.Total, wc.VsRegionalization, wc.Total, wc.VsClustering, wc.Total)
+}
+
+func sortSummaries(s []Table2Summary) {
+	// Stable, deterministic order: model, dataset, threshold.
+	lt := func(a, b Table2Summary) bool {
+		if a.Model != b.Model {
+			return a.Model < b.Model
+		}
+		if a.Dataset != b.Dataset {
+			return a.Dataset < b.Dataset
+		}
+		return a.Threshold < b.Threshold
+	}
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && lt(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

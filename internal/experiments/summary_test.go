@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func summaryFixture() []ErrorRow {
+	return []ErrorRow{
+		{Model: ModelLag, Dataset: "taxi", Method: MethodOriginal, RMSE: 100},
+		{Model: ModelLag, Dataset: "taxi", Method: MethodRepartitioning, Threshold: 0.05, RMSE: 104},
+		{Model: ModelLag, Dataset: "taxi", Method: MethodSampling, Threshold: 0.05, RMSE: 120},
+		{Model: ModelLag, Dataset: "taxi", Method: MethodRegionalization, Threshold: 0.05, RMSE: 110},
+		{Model: ModelLag, Dataset: "taxi", Method: MethodClustering, Threshold: 0.05, RMSE: 102},
+		{Model: ModelLag, Dataset: "taxi", Method: MethodRepartitioning, Threshold: 0.10, RMSE: 108},
+		{Model: ModelLag, Dataset: "taxi", Method: MethodSampling, Threshold: 0.10, RMSE: 130},
+		{Model: ModelLag, Dataset: "taxi", Method: MethodRegionalization, Threshold: 0.10, RMSE: 112},
+		{Model: ModelLag, Dataset: "taxi", Method: MethodClustering, Threshold: 0.10, RMSE: 111},
+	}
+}
+
+func TestSummarizeTable2(t *testing.T) {
+	sums := SummarizeTable2(summaryFixture())
+	if len(sums) != 2 {
+		t.Fatalf("summaries = %d, want 2", len(sums))
+	}
+	s := sums[0]
+	if s.Threshold != 0.05 {
+		t.Fatalf("order wrong: %+v", sums)
+	}
+	if s.RepartVsOriginalPct != 4 {
+		t.Errorf("vs-original = %v, want +4", s.RepartVsOriginalPct)
+	}
+	if !s.BeatsSampling || !s.BeatsRegional || s.BeatsClustering {
+		t.Errorf("win flags wrong: %+v", s)
+	}
+	s2 := sums[1]
+	if !s2.BeatsSampling || !s2.BeatsRegional || !s2.BeatsClustering {
+		t.Errorf("win flags at 0.10 wrong: %+v", s2)
+	}
+}
+
+func TestSummarizeTable2SkipsIncomplete(t *testing.T) {
+	rows := []ErrorRow{
+		// No Original row → no summary.
+		{Model: ModelSVR, Dataset: "x", Method: MethodRepartitioning, Threshold: 0.05, RMSE: 10},
+	}
+	if got := SummarizeTable2(rows); len(got) != 0 {
+		t.Errorf("summaries = %v, want none without an Original row", got)
+	}
+}
+
+func TestCountWins(t *testing.T) {
+	sums := SummarizeTable2(summaryFixture())
+	w := CountWins(sums)
+	if w.Total != 2 || w.VsSampling != 2 || w.VsRegionalization != 2 || w.VsClustering != 1 {
+		t.Errorf("wins = %+v", w)
+	}
+}
+
+func TestPrintTable2Summary(t *testing.T) {
+	var buf bytes.Buffer
+	PrintTable2Summary(&buf, SummarizeTable2(summaryFixture()))
+	out := buf.String()
+	for _, want := range []string{"+4.0", "re-partitioning wins", "vs sampling 2/2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+)
+
+// ErrorRow is one line of Table II: the prediction quality of one model on
+// one dataset preparation. Lag/error models are read via SE and R2; the
+// other models via MAE and RMSE (the paper reports exactly those pairs).
+type ErrorRow struct {
+	Model     ModelKind
+	Dataset   string
+	Method    Method
+	Threshold float64 // 0 for Original
+	SE, R2    float64
+	MAE, RMSE float64
+	IFL       float64
+	Instances int
+}
+
+// Table2 reproduces Table II: prediction errors of the five regression
+// models on the three multivariate datasets, and of kriging on the three
+// univariate datasets — for the original grid and for every reduction
+// method at every IFL threshold.
+func Table2(cfg Config) ([]ErrorRow, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	l := newLab(cfg)
+	var rows []ErrorRow
+	for _, d := range cfg.MultivariateDatasets(cfg.ModelSize) {
+		for _, model := range RegressionModels {
+			r, err := errorSweep(l, d.Name, model)
+			if err != nil {
+				return nil, fmt.Errorf("table2 %s on %s: %w", model, d.Name, err)
+			}
+			rows = append(rows, r...)
+		}
+	}
+	for _, d := range cfg.UnivariateDatasets(cfg.ModelSize) {
+		r, err := errorSweep(l, d.Name, ModelKriging)
+		if err != nil {
+			return nil, fmt.Errorf("table2 kriging on %s: %w", d.Name, err)
+		}
+		rows = append(rows, r...)
+	}
+	return rows, nil
+}
+
+// errorSweep evaluates one model on Original plus every method×threshold.
+func errorSweep(l *lab, dataset string, model ModelKind) ([]ErrorRow, error) {
+	ds, err := l.dataset(dataset)
+	if err != nil {
+		return nil, err
+	}
+	var rows []ErrorRow
+	appendRun := func(m Method, theta float64) error {
+		red, err := l.reduction(m, dataset, theta)
+		if err != nil {
+			return err
+		}
+		res, err := RunRegression(model, red, ds, l.cfg)
+		if err != nil {
+			return fmt.Errorf("%s@%v: %w", m, theta, err)
+		}
+		rows = append(rows, ErrorRow{
+			Model: model, Dataset: dataset, Method: m, Threshold: theta,
+			SE: res.SE, R2: res.R2, MAE: res.MAE, RMSE: res.RMSE,
+			IFL: red.IFL, Instances: red.Instances(),
+		})
+		return nil
+	}
+	if err := appendRun(MethodOriginal, 0); err != nil {
+		return nil, err
+	}
+	for _, theta := range l.cfg.Thresholds {
+		for _, m := range Methods {
+			if err := appendRun(m, theta); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return rows, nil
+}

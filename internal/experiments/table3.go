@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+)
+
+// F1Row is one line of Table III: the weighted F1-score of one classifier on
+// one dataset preparation.
+type F1Row struct {
+	Model     ModelKind
+	Dataset   string
+	Method    Method
+	Threshold float64 // 0 for Original
+	F1        float64
+	Accuracy  float64
+}
+
+// Table3 reproduces Table III: weighted F1 of the gradient boosting and KNN
+// classifiers on the three multivariate datasets (targets binned into the
+// five §IV-C2 classes), for the original grid and for every reduction
+// method at every IFL threshold.
+func Table3(cfg Config) ([]F1Row, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	l := newLab(cfg)
+	var rows []F1Row
+	for _, d := range cfg.MultivariateDatasets(cfg.ModelSize) {
+		for _, model := range ClassificationModels {
+			appendRun := func(m Method, theta float64) error {
+				red, err := l.reduction(m, d.Name, theta)
+				if err != nil {
+					return err
+				}
+				ds, err := l.dataset(d.Name)
+				if err != nil {
+					return err
+				}
+				res, err := RunClassification(model, red, ds, l.cfg)
+				if err != nil {
+					return fmt.Errorf("table3 %s on %s (%s@%v): %w", model, d.Name, m, theta, err)
+				}
+				rows = append(rows, F1Row{
+					Model: model, Dataset: d.Name, Method: m, Threshold: theta,
+					F1: res.F1, Accuracy: res.Accuracy,
+				})
+				return nil
+			}
+			if err := appendRun(MethodOriginal, 0); err != nil {
+				return nil, err
+			}
+			for _, theta := range cfg.Thresholds {
+				for _, m := range Methods {
+					if err := appendRun(m, theta); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+
+	"spatialrepart/internal/metrics"
+)
+
+// AgreementRow is one line of Table IV: the % of input cells that land in
+// matching clusters when clustering the reduced dataset vs. the original.
+type AgreementRow struct {
+	Dataset   string
+	Method    Method
+	Threshold float64
+	Agreement float64 // percent
+}
+
+// Table4 reproduces Table IV: clustering correctness. Spatially constrained
+// hierarchical clustering runs on the original grid's cells and on every
+// reduced dataset; reduced-cluster labels are distributed back onto the
+// input cells through each method's cell→instance map, and agreement is the
+// greedy-matched label overlap percentage.
+func Table4(cfg Config) ([]AgreementRow, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	l := newLab(cfg)
+	var rows []AgreementRow
+	for _, d := range cfg.AllDatasets(cfg.ModelSize) {
+		orig, err := l.original(d.Name)
+		if err != nil {
+			return nil, err
+		}
+		origRes, err := RunClustering(orig, d, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("table4 original clustering on %s: %w", d.Name, err)
+		}
+		origCellLabels := cellLabels(orig, origRes.Labels)
+
+		for _, theta := range cfg.Thresholds {
+			for _, m := range Methods {
+				red, err := l.reduction(m, d.Name, theta)
+				if err != nil {
+					return nil, err
+				}
+				res, err := RunClustering(red, d, cfg)
+				if err != nil {
+					return nil, fmt.Errorf("table4 %s clustering on %s: %w", m, d.Name, err)
+				}
+				redCellLabels := cellLabels(red, res.Labels)
+				// Compare over cells labeled under both preparations.
+				var a, b []int
+				for idx := range origCellLabels {
+					if origCellLabels[idx] >= 0 && redCellLabels[idx] >= 0 {
+						a = append(a, origCellLabels[idx])
+						b = append(b, redCellLabels[idx])
+					}
+				}
+				agree, err := metrics.ClusterAgreement(a, b)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, AgreementRow{
+					Dataset: d.Name, Method: m, Threshold: theta, Agreement: agree,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// cellLabels distributes instance-level cluster labels onto input cells via
+// the reduction's cell→instance map; unmapped cells get −1.
+func cellLabels(red *Reduction, labels []int) []int {
+	out := make([]int, len(red.CellInstance))
+	for idx, inst := range red.CellInstance {
+		if inst >= 0 {
+			out[idx] = labels[inst]
+		} else {
+			out[idx] = -1
+		}
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"spatialrepart/internal/core"
+)
+
+// HomogeneousRow is one line of Table V: the information loss of the naïve
+// homogeneous re-partitioning (§III-D) at its smallest merge factor (2) for
+// each merge mode, contrasted with what the ML-aware framework achieves
+// within the largest IFL threshold.
+type HomogeneousRow struct {
+	Dataset   string
+	MergeRows float64 // IFL merging 2 adjacent rows
+	MergeCols float64 // IFL merging 2 adjacent columns
+	MergeBoth float64 // IFL merging 2 rows and 2 columns
+	// MLAwareIFL and MLAwareReductionPct report the ML-aware framework at
+	// the largest configured threshold: it reduces cells substantially while
+	// staying under θ — whereas the homogeneous variant overshoots θ at its
+	// very first (factor-2) merge, the paper's Table V conclusion.
+	MLAwareIFL          float64
+	MLAwareReductionPct float64
+}
+
+// Table5 reproduces Table V: the homogeneous variant's IFL at merge factor 2
+// on all six datasets, with the ML-aware framework's threshold-bounded
+// result alongside for the paper's contrast.
+func Table5(cfg Config) ([]HomogeneousRow, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	theta := cfg.Thresholds[len(cfg.Thresholds)-1]
+	var rows []HomogeneousRow
+	for _, d := range cfg.AllDatasets(cfg.ModelSize) {
+		row := HomogeneousRow{Dataset: d.Name}
+		for _, mode := range []core.MergeMode{core.MergeRows, core.MergeCols, core.MergeBoth} {
+			rp, err := core.Homogeneous(d.Grid, 2, mode)
+			if err != nil {
+				return nil, err
+			}
+			switch mode {
+			case core.MergeRows:
+				row.MergeRows = rp.IFL
+			case core.MergeCols:
+				row.MergeCols = rp.IFL
+			case core.MergeBoth:
+				row.MergeBoth = rp.IFL
+			}
+		}
+		rp, err := core.Repartition(d.Grid, core.Options{Threshold: theta, Schedule: core.ScheduleGeometric})
+		if err != nil {
+			return nil, err
+		}
+		row.MLAwareIFL = rp.IFL
+		valid := d.Grid.ValidCount()
+		row.MLAwareReductionPct = 100 * (1 - float64(rp.ValidGroups())/float64(valid))
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

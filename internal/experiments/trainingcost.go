@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"spatialrepart/internal/datagen"
+)
+
+// ClusteringApp labels the spatial-clustering application rows of Figs. 9-10
+// (distinct from the Clustering data-reduction baseline).
+const ClusteringApp ModelKind = "Clustering (app)"
+
+// TrainCostRow is one bar of Figs. 7-10: the training time and memory of one
+// model on one dataset preparation, with the reduction relative to training
+// on the original grid. Threshold is 0 for the Original rows.
+type TrainCostRow struct {
+	Model     ModelKind
+	Dataset   string
+	Method    Method
+	Threshold float64
+	Instances int
+	TrainTime time.Duration
+	TrainMem  uint64
+	// TimePct and MemPct are the percentage reductions vs. the Original row
+	// of the same model+dataset (0 for the Original row itself).
+	TimePct, MemPct float64
+}
+
+// RegressionTrainingCosts reproduces Figs. 7 and 8: training time and memory
+// for the five regression models (multivariate datasets) and kriging
+// (univariate datasets), on the original grid vs. re-partitioned grids at
+// each IFL threshold. Per §IV-C the baselines produce the same instance
+// counts and hence the same costs, so only Original and Re-partitioning run.
+func RegressionTrainingCosts(cfg Config) ([]TrainCostRow, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	l := newLab(cfg)
+	var rows []TrainCostRow
+	for _, d := range cfg.MultivariateDatasets(cfg.ModelSize) {
+		for _, model := range RegressionModels {
+			r, err := costSweep(l, d.Name, model)
+			if err != nil {
+				return nil, fmt.Errorf("fig7/8 %s on %s: %w", model, d.Name, err)
+			}
+			rows = append(rows, r...)
+		}
+	}
+	for _, d := range cfg.UnivariateDatasets(cfg.ModelSize) {
+		r, err := costSweep(l, d.Name, ModelKriging)
+		if err != nil {
+			return nil, fmt.Errorf("fig7/8 kriging on %s: %w", d.Name, err)
+		}
+		rows = append(rows, r...)
+	}
+	return rows, nil
+}
+
+// ClusteringClassificationCosts reproduces Figs. 9 and 10: training time and
+// memory for the two classifiers (multivariate datasets) and spatially
+// constrained clustering (all datasets).
+func ClusteringClassificationCosts(cfg Config) ([]TrainCostRow, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	l := newLab(cfg)
+	var rows []TrainCostRow
+	for _, d := range cfg.MultivariateDatasets(cfg.ModelSize) {
+		for _, model := range ClassificationModels {
+			r, err := costSweep(l, d.Name, model)
+			if err != nil {
+				return nil, fmt.Errorf("fig9/10 %s on %s: %w", model, d.Name, err)
+			}
+			rows = append(rows, r...)
+		}
+	}
+	for _, d := range cfg.AllDatasets(cfg.ModelSize) {
+		r, err := costSweep(l, d.Name, ClusteringApp)
+		if err != nil {
+			return nil, fmt.Errorf("fig9/10 clustering on %s: %w", d.Name, err)
+		}
+		rows = append(rows, r...)
+	}
+	return rows, nil
+}
+
+// costSweep measures one model on the original preparation and on the
+// re-partitioned preparations at every threshold.
+func costSweep(l *lab, dataset string, model ModelKind) ([]TrainCostRow, error) {
+	orig, err := l.original(dataset)
+	if err != nil {
+		return nil, err
+	}
+	d, err := l.dataset(dataset)
+	if err != nil {
+		return nil, err
+	}
+	origTime, origMem, err := trainCost(model, orig, d, l.cfg)
+	if err != nil {
+		return nil, err
+	}
+	rows := []TrainCostRow{{
+		Model: model, Dataset: dataset, Method: MethodOriginal,
+		Instances: orig.Instances(), TrainTime: origTime, TrainMem: origMem,
+	}}
+	for _, theta := range l.cfg.Thresholds {
+		red, err := l.repartition(dataset, theta)
+		if err != nil {
+			return nil, err
+		}
+		t, m, err := trainCost(model, red, d, l.cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, TrainCostRow{
+			Model: model, Dataset: dataset, Method: MethodRepartitioning, Threshold: theta,
+			Instances: red.Instances(), TrainTime: t, TrainMem: m,
+			TimePct: pctLess(float64(t), float64(origTime)),
+			MemPct:  pctLess(float64(m), float64(origMem)),
+		})
+	}
+	return rows, nil
+}
+
+// trainCost trains the model once and returns its cost.
+func trainCost(model ModelKind, red *Reduction, d *datagen.Dataset, cfg Config) (time.Duration, uint64, error) {
+	switch model {
+	case ClusteringApp:
+		res, err := RunClustering(red, d, cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		return res.TrainTime, res.TrainMem, nil
+	case ModelGB, ModelKNN:
+		res, err := RunClassification(model, red, d, cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		return res.TrainTime, res.TrainMem, nil
+	default:
+		res, err := RunRegression(model, red, d, cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		return res.TrainTime, res.TrainMem, nil
+	}
+}
+
+func pctLess(v, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (1 - v/base)
+}

@@ -1,0 +1,28 @@
+package forest
+
+import "testing"
+
+func BenchmarkFitForest(b *testing.B) {
+	x, y := synth(1, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitForest(x, y, Options{NumTrees: 50, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForestPredict(b *testing.B) {
+	x, y := synth(2, 1000)
+	f, err := FitForest(x, y, Options{NumTrees: 50, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, _ := synth(3, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Predict(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package forest
+
+import "testing"
+
+// TestForestWorkerCountInvariance: per-tree seeding makes the fitted forest
+// identical regardless of how many goroutines trained it.
+func TestForestWorkerCountInvariance(t *testing.T) {
+	x, y := synth(9, 300)
+	serial, err := FitForest(x, y, Options{NumTrees: 20, Seed: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := FitForest(x, y, Options{NumTrees: 20, Seed: 5, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, _ := serial.Predict(x[:50])
+	pp, _ := parallel.Predict(x[:50])
+	for i := range ps {
+		if ps[i] != pp[i] {
+			t.Fatalf("prediction %d differs between worker counts: %v vs %v", i, ps[i], pp[i])
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package grid
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Tests for categorical attributes at the grid layer (the §VI extension).
+
+func TestValidateAttrs(t *testing.T) {
+	ok := []Attribute{
+		{Name: "count", Agg: Sum},
+		{Name: "zone", Agg: Average, Categorical: true},
+	}
+	if err := ValidateAttrs(ok); err != nil {
+		t.Errorf("valid attrs rejected: %v", err)
+	}
+	bad := []Attribute{{Name: "zone", Agg: Sum, Categorical: true}}
+	if err := ValidateAttrs(bad); err == nil {
+		t.Error("categorical+sum accepted")
+	}
+}
+
+func TestNormalizedKeepsCategoryCodes(t *testing.T) {
+	attrs := []Attribute{
+		{Name: "v", Agg: Average},
+		{Name: "zone", Agg: Average, Categorical: true},
+	}
+	g := New(1, 3, attrs)
+	g.SetVector(0, 0, []float64{10, 3})
+	g.SetVector(0, 1, []float64{20, 7})
+	g.SetVector(0, 2, []float64{30, 3})
+	n, _ := g.Normalized()
+	// Numeric attribute scaled to [0,1]; categorical codes untouched.
+	if n.At(0, 0, 0) != 0 || n.At(0, 2, 0) != 1 {
+		t.Errorf("numeric attribute not normalized: %v %v", n.At(0, 0, 0), n.At(0, 2, 0))
+	}
+	for c, want := range []float64{3, 7, 3} {
+		if n.At(0, c, 1) != want {
+			t.Errorf("category code at col %d = %v, want %v", c, n.At(0, c, 1), want)
+		}
+	}
+}
+
+func TestFromRecordsCategoricalMode(t *testing.T) {
+	attrs := []Attribute{
+		{Name: "count", Agg: Sum},
+		{Name: "zone", Agg: Average, Categorical: true},
+	}
+	b := Bounds{MinLat: 0, MaxLat: 1, MinLon: 0, MaxLon: 1}
+	recs := []Record{
+		{Lat: 0.5, Lon: 0.5, Values: []float64{1, 2}},
+		{Lat: 0.5, Lon: 0.5, Values: []float64{1, 2}},
+		{Lat: 0.5, Lon: 0.5, Values: []float64{1, 9}},
+	}
+	g, _, err := FromRecords(recs, b, 1, 1, attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.At(0, 0, 0) != 3 {
+		t.Errorf("count = %v, want 3", g.At(0, 0, 0))
+	}
+	if g.At(0, 0, 1) != 2 {
+		t.Errorf("zone = %v, want modal category 2 (not the mean)", g.At(0, 0, 1))
+	}
+}
+
+func TestFromRecordsCategoricalTieBreak(t *testing.T) {
+	attrs := []Attribute{{Name: "zone", Agg: Average, Categorical: true}}
+	b := Bounds{MinLat: 0, MaxLat: 1, MinLon: 0, MaxLon: 1}
+	recs := []Record{
+		{Lat: 0.5, Lon: 0.5, Values: []float64{9}},
+		{Lat: 0.5, Lon: 0.5, Values: []float64{4}},
+	}
+	g, _, err := FromRecords(recs, b, 1, 1, attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.At(0, 0, 0) != 4 {
+		t.Errorf("tie should pick the smaller code: got %v", g.At(0, 0, 0))
+	}
+}
+
+func TestFromRecordsRejectsCategoricalSum(t *testing.T) {
+	attrs := []Attribute{{Name: "zone", Agg: Sum, Categorical: true}}
+	b := Bounds{MinLat: 0, MaxLat: 1, MinLon: 0, MaxLon: 1}
+	if _, _, err := FromRecords(nil, b, 1, 1, attrs); err == nil {
+		t.Fatal("want validation error")
+	}
+}
+
+func TestCSVRoundTripCategorical(t *testing.T) {
+	attrs := []Attribute{
+		{Name: "v", Agg: Average, Integer: true},
+		{Name: "zone", Agg: Average, Categorical: true},
+	}
+	g := New(1, 2, attrs)
+	g.SetVector(0, 0, []float64{5, 3})
+	var buf bytes.Buffer
+	if err := g.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Attrs[1].Categorical {
+		t.Error("categorical flag lost in CSV round trip")
+	}
+	if !got.Attrs[0].Integer || got.Attrs[0].Categorical {
+		t.Error("attribute flags scrambled")
+	}
+}

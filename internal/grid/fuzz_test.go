@@ -1,0 +1,45 @@
+package grid
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV hardens the CSV parser: arbitrary input must either parse into
+// a structurally sound grid or return an error — never panic, never produce
+// a grid whose accessors misbehave.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("#grid,2,2\nrow,col,a:sum:int\n0,0,5\n1,1,7\n")
+	f.Add("#grid,1,1\nrow,col,x:average\n")
+	f.Add("#grid,0,0\nrow,col,a\n")
+	f.Add("garbage")
+	f.Add("#grid,2,2\nrow,col,a:cat\n0,0,1\n")
+	f.Add("#grid,-1,2\nrow,col,a\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if g.Rows < 0 || g.Cols < 0 {
+			t.Fatalf("negative dimensions %dx%d accepted", g.Rows, g.Cols)
+		}
+		// Every accessor over the declared ranges must be safe.
+		for r := 0; r < g.Rows; r++ {
+			for c := 0; c < g.Cols; c++ {
+				_ = g.Valid(r, c)
+				for k := 0; k < g.NumAttrs(); k++ {
+					_ = g.At(r, c, k)
+				}
+			}
+		}
+		// A parsed grid must round-trip.
+		var buf bytes.Buffer
+		if err := g.WriteCSV(&buf); err != nil {
+			t.Fatalf("round-trip write failed: %v", err)
+		}
+		if _, err := ReadCSV(&buf); err != nil {
+			t.Fatalf("round-trip read failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,151 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+)
+
+// Record is a raw spatial data record: a geolocation plus one value per
+// attribute of the target grid.
+type Record struct {
+	Lat, Lon float64
+	Values   []float64
+}
+
+// Bounds is the geographical extent of a grid: latitudes in [MinLat, MaxLat)
+// and longitudes in [MinLon, MaxLon).
+type Bounds struct {
+	MinLat, MaxLat float64
+	MinLon, MaxLon float64
+}
+
+// CellOf maps a coordinate to its (row, col) in a rows×cols partition of b.
+// Points on the max edge are clamped into the last row/column. The second
+// return is false if the point lies outside the bounds.
+func (b Bounds) CellOf(lat, lon float64, rows, cols int) (r, c int, ok bool) {
+	if lat < b.MinLat || lat > b.MaxLat || lon < b.MinLon || lon > b.MaxLon {
+		return 0, 0, false
+	}
+	latSpan := b.MaxLat - b.MinLat
+	lonSpan := b.MaxLon - b.MinLon
+	if latSpan <= 0 || lonSpan <= 0 {
+		return 0, 0, false
+	}
+	r = int((lat - b.MinLat) / latSpan * float64(rows))
+	c = int((lon - b.MinLon) / lonSpan * float64(cols))
+	if r >= rows {
+		r = rows - 1
+	}
+	if c >= cols {
+		c = cols - 1
+	}
+	return r, c, true
+}
+
+// CellCenter returns the geographic center of cell (r, c) in a rows×cols
+// partition of b.
+func (b Bounds) CellCenter(r, c, rows, cols int) (lat, lon float64) {
+	lat = b.MinLat + (float64(r)+0.5)/float64(rows)*(b.MaxLat-b.MinLat)
+	lon = b.MinLon + (float64(c)+0.5)/float64(cols)*(b.MaxLon-b.MinLon)
+	return lat, lon
+}
+
+// ValidateAttrs rejects attribute combinations the framework cannot give
+// meaning to (currently: categorical attributes with Sum aggregation —
+// category codes cannot be added).
+func ValidateAttrs(attrs []Attribute) error {
+	for _, a := range attrs {
+		if a.Categorical && a.Agg == Sum {
+			return fmt.Errorf("grid: categorical attribute %q cannot use sum aggregation", a.Name)
+		}
+	}
+	return nil
+}
+
+// FromRecords aggregates raw records into a rows×cols grid over bounds,
+// applying each attribute's aggregation type: Sum adds record values,
+// Average averages them (rounding integer attributes), and categorical
+// attributes take the most frequent category among the cell's records.
+// Cells that receive no records stay null. Records outside the bounds are
+// dropped and counted in the second return value.
+func FromRecords(records []Record, bounds Bounds, rows, cols int, attrs []Attribute) (*Grid, int, error) {
+	if err := ValidateAttrs(attrs); err != nil {
+		return nil, 0, err
+	}
+	p := len(attrs)
+	g := New(rows, cols, attrs)
+	counts := make([]int, rows*cols)
+	sums := make([]float64, rows*cols*p)
+	// Per-cell category frequency maps, allocated only for categorical
+	// attributes.
+	var catCounts []map[float64]int
+	catCol := make([]int, 0)
+	for k, a := range attrs {
+		if a.Categorical {
+			catCol = append(catCol, k)
+		}
+	}
+	if len(catCol) > 0 {
+		catCounts = make([]map[float64]int, rows*cols*len(catCol))
+	}
+	catIdx := func(cell, ci int) int { return cell*len(catCol) + ci }
+
+	dropped := 0
+	for i, rec := range records {
+		if len(rec.Values) != p {
+			return nil, 0, fmt.Errorf("grid: record %d has %d values, want %d", i, len(rec.Values), p)
+		}
+		r, c, ok := bounds.CellOf(rec.Lat, rec.Lon, rows, cols)
+		if !ok {
+			dropped++
+			continue
+		}
+		idx := r*cols + c
+		counts[idx]++
+		for k, v := range rec.Values {
+			sums[idx*p+k] += v
+		}
+		for ci, k := range catCol {
+			m := catCounts[catIdx(idx, ci)]
+			if m == nil {
+				m = make(map[float64]int, 4)
+				catCounts[catIdx(idx, ci)] = m
+			}
+			m[rec.Values[k]]++
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			idx := r*cols + c
+			if counts[idx] == 0 {
+				continue
+			}
+			for k := 0; k < p; k++ {
+				v := sums[idx*p+k]
+				if attrs[k].Agg == Average {
+					v /= float64(counts[idx])
+					if attrs[k].Integer {
+						v = math.Round(v)
+					}
+				}
+				g.Set(r, c, k, v)
+			}
+			for ci, k := range catCol {
+				g.Set(r, c, k, modalCategory(catCounts[catIdx(idx, ci)]))
+			}
+		}
+	}
+	return g, dropped, nil
+}
+
+// modalCategory returns the most frequent category code; ties resolve to the
+// smallest code for determinism.
+func modalCategory(m map[float64]int) float64 {
+	best, bestN := math.Inf(1), -1
+	for v, n := range m {
+		if n > bestN || (n == bestN && v < best) {
+			best, bestN = v, n
+		}
+	}
+	return best
+}

@@ -1,0 +1,28 @@
+package knn
+
+import "testing"
+
+func BenchmarkFitClassifier(b *testing.B) {
+	x, labels := synthClasses(1, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitClassifier(x, labels, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKNNPredict(b *testing.B) {
+	x, labels := synthClasses(2, 5000)
+	c, err := FitClassifier(x, labels, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, _ := synthClasses(3, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Predict(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package kriging
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func benchField(n int) (lat, lon, y []float64) {
+	rng := rand.New(rand.NewSource(1))
+	lat = make([]float64, n)
+	lon = make([]float64, n)
+	y = make([]float64, n)
+	for i := 0; i < n; i++ {
+		lat[i] = rng.Float64()
+		lon[i] = rng.Float64()
+		y[i] = math.Sin(4*lat[i]) * math.Cos(3*lon[i])
+	}
+	return lat, lon, y
+}
+
+func BenchmarkFitKriging1000(b *testing.B) {
+	lat, lon, y := benchField(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitKriging(lat, lon, y, Options{MaxRange: 1.2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKrigingPredict(b *testing.B) {
+	lat, lon, y := benchField(1000)
+	k, err := FitKriging(lat, lon, y, Options{MaxRange: 1.2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qLat, qLon, _ := benchField(200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.Predict(qLat, qLon); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

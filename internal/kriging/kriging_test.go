@@ -1,0 +1,173 @@
+package kriging
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spatialrepart/internal/metrics"
+)
+
+// synthSurface draws observations of a smooth surface on [0,1]².
+func synthSurface(seed int64, n int) (lat, lon, y []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	lat = make([]float64, n)
+	lon = make([]float64, n)
+	y = make([]float64, n)
+	for i := 0; i < n; i++ {
+		lat[i] = rng.Float64()
+		lon[i] = rng.Float64()
+		y[i] = math.Sin(3*lat[i]) + math.Cos(2*lon[i])
+	}
+	return lat, lon, y
+}
+
+func TestVariogramModelShape(t *testing.T) {
+	v := Variogram{Nugget: 0.1, Sill: 0.9, Range: 0.5}
+	if v.At(0) != 0 {
+		t.Errorf("At(0) = %v, want 0", v.At(0))
+	}
+	if got := v.At(0.5); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("At(range) = %v, want nugget+sill = 1", got)
+	}
+	if got := v.At(2); got != 1.0 {
+		t.Errorf("beyond range = %v, want plateau 1", got)
+	}
+	// Monotone nondecreasing within range.
+	prev := 0.0
+	for h := 0.01; h <= 0.5; h += 0.01 {
+		g := v.At(h)
+		if g < prev-1e-12 {
+			t.Fatalf("variogram decreased at h=%v", h)
+		}
+		prev = g
+	}
+}
+
+func TestKrigingInterpolatesExactlyAtObservations(t *testing.T) {
+	lat, lon, y := synthSurface(1, 200)
+	k, err := FitKriging(lat, lon, y, Options{MaxRange: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := k.Predict(lat[:20], lon[:20])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pred {
+		if pred[i] != y[i] {
+			t.Errorf("exact interpolation violated at %d: %v vs %v", i, pred[i], y[i])
+		}
+	}
+}
+
+func TestKrigingPredictsSmoothSurface(t *testing.T) {
+	lat, lon, y := synthSurface(2, 400)
+	k, err := FitKriging(lat, lon, y, Options{MaxRange: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qLat, qLon, qY := synthSurface(3, 100)
+	pred, err := k.Predict(qLat, qLon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmse, _ := metrics.RMSE(pred, qY)
+	if rmse > 0.1 {
+		t.Errorf("RMSE = %v, want < 0.1 on a smooth surface", rmse)
+	}
+}
+
+func TestKrigingBeatsGlobalMean(t *testing.T) {
+	lat, lon, y := synthSurface(4, 300)
+	k, err := FitKriging(lat, lon, y, Options{MaxRange: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qLat, qLon, qY := synthSurface(5, 100)
+	pred, _ := k.Predict(qLat, qLon)
+	var mean float64
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	meanPred := make([]float64, len(qY))
+	for i := range meanPred {
+		meanPred[i] = mean
+	}
+	kr, _ := metrics.RMSE(pred, qY)
+	mr, _ := metrics.RMSE(meanPred, qY)
+	if kr >= mr {
+		t.Errorf("kriging RMSE %v should beat mean-predictor RMSE %v", kr, mr)
+	}
+}
+
+func TestKrigingDefaultsMatchPaper(t *testing.T) {
+	var o Options
+	o.defaults()
+	if o.SearchRadius != 0.01 || o.MaxRange != 0.32 || o.NumNeighbors != 8 {
+		t.Errorf("defaults = %+v, want Table I values 0.01/0.32/8", o)
+	}
+}
+
+func TestKrigingErrors(t *testing.T) {
+	if _, err := FitKriging([]float64{1}, []float64{1}, []float64{1}, Options{}); err == nil {
+		t.Error("want too-few-observations error")
+	}
+	if _, err := FitKriging([]float64{1, 2}, []float64{1}, []float64{1, 2}, Options{}); err == nil {
+		t.Error("want length mismatch error")
+	}
+	// Points farther apart than MaxRange: no variogram pairs.
+	if _, err := FitKriging([]float64{0, 10}, []float64{0, 10}, []float64{1, 2}, Options{MaxRange: 0.1}); err == nil {
+		t.Error("want no-pairs error")
+	}
+	lat, lon, y := synthSurface(6, 50)
+	k, _ := FitKriging(lat, lon, y, Options{MaxRange: 1.2})
+	if _, err := k.Predict([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("want query mismatch error")
+	}
+}
+
+func TestKrigingConstantField(t *testing.T) {
+	// A constant field has a flat (zero) variogram; predictions must still
+	// return the constant via the IDW fallback or the kriging weights.
+	rng := rand.New(rand.NewSource(7))
+	n := 50
+	lat := make([]float64, n)
+	lon := make([]float64, n)
+	y := make([]float64, n)
+	for i := range lat {
+		lat[i] = rng.Float64()
+		lon[i] = rng.Float64()
+		y[i] = 5
+	}
+	k, err := FitKriging(lat, lon, y, Options{MaxRange: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := k.Predict([]float64{0.31}, []float64{0.77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pred[0]-5) > 1e-6 {
+		t.Errorf("constant-field prediction = %v, want 5", pred[0])
+	}
+}
+
+func TestKrigingNeighborCap(t *testing.T) {
+	// NumNeighbors greater than n must not crash.
+	lat := []float64{0, 0.1, 0.2}
+	lon := []float64{0, 0.1, 0.2}
+	y := []float64{1, 2, 3}
+	k, err := FitKriging(lat, lon, y, Options{NumNeighbors: 50, MaxRange: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := k.Predict([]float64{0.05}, []float64{0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(pred[0]) {
+		t.Fatal("NaN prediction")
+	}
+}

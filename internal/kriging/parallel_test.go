@@ -1,0 +1,33 @@
+package kriging
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestPredictParallelMatchesSerial: parallel prediction must be bit-identical
+// to a single-worker run (queries are pure functions of the fitted model).
+func TestPredictParallelMatchesSerial(t *testing.T) {
+	lat, lon, y := synthSurface(11, 300)
+	k, err := FitKriging(lat, lon, y, Options{MaxRange: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qLat, qLon, _ := synthSurface(12, 150)
+
+	old := runtime.GOMAXPROCS(1)
+	serial, err := k.Predict(qLat, qLon)
+	runtime.GOMAXPROCS(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := k.Predict(qLat, qLon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("query %d differs: %v vs %v", i, serial[i], parallel[i])
+		}
+	}
+}

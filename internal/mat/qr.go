@@ -1,0 +1,100 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// SolveQR solves the least squares problem min ‖a·x − b‖² via Householder QR
+// factorization of the design matrix itself. Unlike the normal-equations
+// route (LeastSquares), QR never squares the condition number, so it stays
+// accurate on nearly collinear designs — the situation GWR's tiny local
+// neighborhoods and the lag model's instrument blocks can produce.
+// a must have at least as many rows as columns; a is not modified.
+func SolveQR(a *Dense, b []float64) ([]float64, error) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		return nil, fmt.Errorf("mat: SolveQR needs rows ≥ cols, got %dx%d", m, n)
+	}
+	if len(b) != m {
+		return nil, fmt.Errorf("mat: SolveQR rhs length %d, want %d", len(b), m)
+	}
+	r := a.Clone()
+	y := make([]float64, m)
+	copy(y, b)
+
+	// Householder reflections column by column, applied to r and y.
+	v := make([]float64, m)
+	for k := 0; k < n; k++ {
+		// Build the reflector for column k below the diagonal.
+		var norm float64
+		for i := k; i < m; i++ {
+			x := r.At(i, k)
+			norm += x * x
+		}
+		norm = math.Sqrt(norm)
+		if norm < 1e-300 {
+			return nil, ErrSingular
+		}
+		alpha := -norm
+		if r.At(k, k) < 0 {
+			alpha = norm
+		}
+		var vnorm2 float64
+		for i := k; i < m; i++ {
+			v[i] = r.At(i, k)
+			if i == k {
+				v[i] -= alpha
+			}
+			vnorm2 += v[i] * v[i]
+		}
+		if vnorm2 < 1e-300 {
+			continue // column already triangular
+		}
+		// Apply H = I − 2vvᵀ/‖v‖² to the remaining columns of r.
+		for j := k; j < n; j++ {
+			var dot float64
+			for i := k; i < m; i++ {
+				dot += v[i] * r.At(i, j)
+			}
+			f := 2 * dot / vnorm2
+			for i := k; i < m; i++ {
+				r.Set(i, j, r.At(i, j)-f*v[i])
+			}
+		}
+		// And to the right-hand side.
+		var dot float64
+		for i := k; i < m; i++ {
+			dot += v[i] * y[i]
+		}
+		f := 2 * dot / vnorm2
+		for i := k; i < m; i++ {
+			y[i] -= f * v[i]
+		}
+	}
+
+	// Back substitution on the upper-triangular n×n block.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		d := r.At(i, i)
+		if math.Abs(d) < 1e-12 {
+			return nil, ErrSingular
+		}
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= r.At(i, j) * x[j]
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// LeastSquaresQR is LeastSquares with a QR fallback: it first tries the fast
+// ridge-stabilized normal equations and falls back to Householder QR when
+// the normal-equations system is numerically singular.
+func LeastSquaresQR(a *Dense, y []float64) ([]float64, error) {
+	if x, err := LeastSquares(a, y); err == nil {
+		return x, nil
+	}
+	return SolveQR(a, y)
+}

@@ -1,0 +1,125 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveQRExactSystem(t *testing.T) {
+	a, _ := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := SolveQR(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x + y = 5; x + 3y = 10 → x = 1, y = 3.
+	if math.Abs(x[0]-1) > 1e-10 || math.Abs(x[1]-3) > 1e-10 {
+		t.Errorf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveQROverdetermined(t *testing.T) {
+	// y = 2 + 3t fitted from noiseless samples.
+	n := 30
+	a := NewDense(n, 2)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		tv := float64(i) / 10
+		a.Set(i, 0, 1)
+		a.Set(i, 1, tv)
+		b[i] = 2 + 3*tv
+	}
+	x, err := SolveQR(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-10 || math.Abs(x[1]-3) > 1e-10 {
+		t.Errorf("x = %v, want [2 3]", x)
+	}
+}
+
+func TestSolveQRAgreesWithNormalEquations(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 10 + int(rng.Int31n(20))
+		n := 2 + int(rng.Int31n(4))
+		a := NewDense(m, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x1, err1 := SolveQR(a, b)
+		x2, err2 := LeastSquares(a, b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range x1 {
+			if math.Abs(x1[i]-x2[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveQRIllConditioned(t *testing.T) {
+	// Nearly collinear columns: QR still produces a finite solution with a
+	// small residual, where raw normal equations lose most digits.
+	n := 50
+	a := NewDense(n, 3)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		tv := float64(i) / float64(n)
+		a.Set(i, 0, 1)
+		a.Set(i, 1, tv)
+		a.Set(i, 2, tv+1e-9*float64(i%2)) // almost a copy of column 1
+		b[i] = 4 + 2*tv
+	}
+	x, err := SolveQR(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, _ := MulVec(a, x)
+	var rss float64
+	for i := range pred {
+		d := pred[i] - b[i]
+		rss += d * d
+	}
+	if rss > 1e-10 {
+		t.Errorf("residual = %v, want ≈ 0", rss)
+	}
+}
+
+func TestSolveQRErrors(t *testing.T) {
+	a := NewDense(2, 3)
+	if _, err := SolveQR(a, []float64{1, 2}); err == nil {
+		t.Error("want rows<cols error")
+	}
+	sq := NewDense(2, 2)
+	if _, err := SolveQR(sq, []float64{1}); err == nil {
+		t.Error("want rhs length error")
+	}
+	zero := NewDense(3, 2) // all-zero column
+	if _, err := SolveQR(zero, []float64{1, 2, 3}); err == nil {
+		t.Error("want singular error")
+	}
+}
+
+func TestLeastSquaresQRFallback(t *testing.T) {
+	// A well-posed system goes through the fast path.
+	a, _ := FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}})
+	x, err := LeastSquaresQR(a, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x) != 2 {
+		t.Fatalf("x = %v", x)
+	}
+}

@@ -1,0 +1,343 @@
+// Package regional implements the regionalization baseline of paper
+// §IV-A3(2), modeled on Biswas et al. (SIGSPATIAL'20): aggregate the cells
+// of a spatial grid into p contiguous regions. The implementation follows
+// the two-phase scheme the paper describes for this family — an
+// initialization phase that seeds p regions with spatially spread cells, and
+// a region-growing phase that repeatedly assigns the unassigned boundary
+// cell most similar to an adjacent region's centroid — followed by a
+// local-search refinement pass (the "optimized" part of memetic
+// regionalization) that moves boundary cells between regions when that
+// lowers the total within-region heterogeneity without breaking contiguity.
+package regional
+
+import (
+	"container/heap"
+	"fmt"
+
+	"spatialrepart/internal/grid"
+	"spatialrepart/internal/reduce"
+)
+
+// Options tunes Reduce.
+type Options struct {
+	// RefinePasses is the number of boundary-refinement sweeps (default 3).
+	RefinePasses int
+}
+
+// Reduce partitions the grid's valid cells into (at least) t contiguous
+// regions. Disconnected groups of valid cells force extra regions: every
+// connected component needs at least one.
+func Reduce(g *grid.Grid, t int, opts Options) (*reduce.Reduced, error) {
+	if opts.RefinePasses == 0 {
+		opts.RefinePasses = 3
+	}
+	norm, _ := g.Normalized()
+	n := g.NumCells()
+	p := norm.NumAttrs()
+
+	valid := make([]int, 0, n)
+	for idx := 0; idx < n; idx++ {
+		r, c := g.CellAt(idx)
+		if g.Valid(r, c) {
+			valid = append(valid, idx)
+		}
+	}
+	if len(valid) == 0 {
+		return nil, fmt.Errorf("regional: grid has no valid cells")
+	}
+	if t < 1 {
+		return nil, fmt.Errorf("regional: region count must be ≥ 1, got %d", t)
+	}
+	if t > len(valid) {
+		return nil, fmt.Errorf("regional: %d regions exceed %d valid cells", t, len(valid))
+	}
+
+	// Initialization: spread t seeds by farthest-point sampling over cell
+	// coordinates, covering every connected component first.
+	comp := components(g, valid)
+	seeds := pickSeeds(g, valid, comp, t)
+
+	assign := make([]int, n)
+	for idx := range assign {
+		assign[idx] = -1
+	}
+	regionSum := make([][]float64, len(seeds))
+	regionCount := make([]int, len(seeds))
+	for ri, idx := range seeds {
+		assign[idx] = ri
+		r, c := g.CellAt(idx)
+		s := make([]float64, p)
+		copy(s, norm.Vector(r, c))
+		regionSum[ri] = s
+		regionCount[ri] = 1
+	}
+
+	// Region growing: a priority queue of (dissimilarity, cell, region)
+	// frontier candidates; pop the globally most similar assignment.
+	dissim := func(idx, ri int) float64 {
+		r, c := g.CellAt(idx)
+		fv := norm.Vector(r, c)
+		var d float64
+		cnt := float64(regionCount[ri])
+		for k := 0; k < p; k++ {
+			diff := fv[k] - regionSum[ri][k]/cnt
+			if diff < 0 {
+				diff = -diff
+			}
+			d += diff
+		}
+		return d / float64(p)
+	}
+	h := &candHeap{}
+	pushNeighbors := func(idx int) {
+		ri := assign[idx]
+		r, c := g.CellAt(idx)
+		for _, d := range [4][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+			nr, nc := r+d[0], c+d[1]
+			if nr < 0 || nr >= g.Rows || nc < 0 || nc >= g.Cols {
+				continue
+			}
+			nidx := nr*g.Cols + nc
+			if !g.Valid(nr, nc) || assign[nidx] != -1 {
+				continue
+			}
+			heap.Push(h, cand{cost: dissim(nidx, ri), cell: nidx, region: ri})
+		}
+	}
+	for _, idx := range seeds {
+		pushNeighbors(idx)
+	}
+	for h.Len() > 0 {
+		cd := heap.Pop(h).(cand)
+		if assign[cd.cell] != -1 {
+			continue
+		}
+		assign[cd.cell] = cd.region
+		r, c := g.CellAt(cd.cell)
+		fv := norm.Vector(r, c)
+		for k := 0; k < p; k++ {
+			regionSum[cd.region][k] += fv[k]
+		}
+		regionCount[cd.region]++
+		pushNeighbors(cd.cell)
+	}
+
+	// Local-search refinement: move boundary cells to an adjacent region
+	// when it lowers total dissimilarity-to-centroid and the donor stays
+	// contiguous (cheap conservative check) and non-empty.
+	for pass := 0; pass < opts.RefinePasses; pass++ {
+		moved := 0
+		for _, idx := range valid {
+			ri := assign[idx]
+			if regionCount[ri] <= 1 {
+				continue
+			}
+			if !safeToRemove(g, assign, idx) {
+				continue
+			}
+			r, c := g.CellAt(idx)
+			fv := norm.Vector(r, c)
+			best, bestGain := -1, 0.0
+			cur := dissim(idx, ri)
+			for _, d := range [4][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+				nr, nc := r+d[0], c+d[1]
+				if nr < 0 || nr >= g.Rows || nc < 0 || nc >= g.Cols {
+					continue
+				}
+				nri := assign[nr*g.Cols+nc]
+				if nri < 0 || nri == ri {
+					continue
+				}
+				if gain := cur - dissim(idx, nri); gain > bestGain {
+					best, bestGain = nri, gain
+				}
+			}
+			if best < 0 {
+				continue
+			}
+			for k := 0; k < p; k++ {
+				regionSum[ri][k] -= fv[k]
+				regionSum[best][k] += fv[k]
+			}
+			regionCount[ri]--
+			regionCount[best]++
+			assign[idx] = best
+			moved++
+		}
+		if moved == 0 {
+			break
+		}
+	}
+
+	return reduce.FromMembership(g, assign)
+}
+
+// safeToRemove conservatively checks that removing cell idx keeps its region
+// contiguous: the cell's same-region neighbors must be pairwise connected
+// through the cell's 8-neighborhood without passing through idx itself.
+func safeToRemove(g *grid.Grid, assign []int, idx int) bool {
+	r, c := g.CellAt(idx)
+	ri := assign[idx]
+	// Collect same-region rook neighbors.
+	var nbrs [][2]int
+	for _, d := range [4][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+		nr, nc := r+d[0], c+d[1]
+		if nr < 0 || nr >= g.Rows || nc < 0 || nc >= g.Cols {
+			continue
+		}
+		if assign[nr*g.Cols+nc] == ri {
+			nbrs = append(nbrs, [2]int{nr, nc})
+		}
+	}
+	if len(nbrs) <= 1 {
+		return true // a leaf cell never disconnects its region
+	}
+	// BFS within the 8-neighborhood ring around idx (excluding idx) over
+	// same-region cells; all rook neighbors must be reachable from the first.
+	ring := map[[2]int]bool{}
+	for dr := -1; dr <= 1; dr++ {
+		for dc := -1; dc <= 1; dc++ {
+			if dr == 0 && dc == 0 {
+				continue
+			}
+			nr, nc := r+dr, c+dc
+			if nr < 0 || nr >= g.Rows || nc < 0 || nc >= g.Cols {
+				continue
+			}
+			if assign[nr*g.Cols+nc] == ri {
+				ring[[2]int{nr, nc}] = true
+			}
+		}
+	}
+	start := nbrs[0]
+	seen := map[[2]int]bool{start: true}
+	queue := [][2]int{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for dr := -1; dr <= 1; dr++ {
+			for dc := -1; dc <= 1; dc++ {
+				next := [2]int{cur[0] + dr, cur[1] + dc}
+				if ring[next] && !seen[next] {
+					// Rook-connect within the ring: require edge adjacency.
+					if abs(cur[0]-next[0])+abs(cur[1]-next[1]) == 1 {
+						seen[next] = true
+						queue = append(queue, next)
+					}
+				}
+			}
+		}
+	}
+	for _, nb := range nbrs[1:] {
+		if !seen[nb] {
+			return false
+		}
+	}
+	return true
+}
+
+// components labels the connected components of the valid cells and returns
+// the component id per linear cell index (−1 for null cells).
+func components(g *grid.Grid, valid []int) []int {
+	comp := make([]int, g.NumCells())
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	for _, start := range valid {
+		if comp[start] != -1 {
+			continue
+		}
+		comp[start] = next
+		queue := []int{start}
+		for len(queue) > 0 {
+			idx := queue[0]
+			queue = queue[1:]
+			r, c := g.CellAt(idx)
+			for _, d := range [4][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+				nr, nc := r+d[0], c+d[1]
+				if nr < 0 || nr >= g.Rows || nc < 0 || nc >= g.Cols {
+					continue
+				}
+				nidx := nr*g.Cols + nc
+				if g.Valid(nr, nc) && comp[nidx] == -1 {
+					comp[nidx] = next
+					queue = append(queue, nidx)
+				}
+			}
+		}
+		next++
+	}
+	return comp
+}
+
+// pickSeeds spreads max(t, #components) seeds: one per component first, then
+// farthest-point additions.
+func pickSeeds(g *grid.Grid, valid, comp []int, t int) []int {
+	seen := map[int]bool{}
+	var seeds []int
+	for _, idx := range valid {
+		if !seen[comp[idx]] {
+			seen[comp[idx]] = true
+			seeds = append(seeds, idx)
+		}
+	}
+	minD2 := make([]float64, len(valid))
+	for i := range minD2 {
+		minD2[i] = 1e18
+	}
+	update := func(seed int) {
+		sr, sc := g.CellAt(seed)
+		for i, idx := range valid {
+			r, c := g.CellAt(idx)
+			d := float64((r-sr)*(r-sr) + (c-sc)*(c-sc))
+			if d < minD2[i] {
+				minD2[i] = d
+			}
+		}
+	}
+	for _, s := range seeds {
+		update(s)
+	}
+	for len(seeds) < t {
+		best, bestD := -1, -1.0
+		for i, idx := range valid {
+			if minD2[i] > bestD {
+				best, bestD = idx, minD2[i]
+			}
+		}
+		if best < 0 || bestD == 0 {
+			break
+		}
+		seeds = append(seeds, best)
+		update(best)
+	}
+	return seeds
+}
+
+type cand struct {
+	cost   float64
+	cell   int
+	region int
+}
+
+type candHeap []cand
+
+func (h candHeap) Len() int            { return len(h) }
+func (h candHeap) Less(i, j int) bool  { return h[i].cost < h[j].cost }
+func (h candHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x interface{}) { *h = append(*h, x.(cand)) }
+func (h *candHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

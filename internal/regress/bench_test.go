@@ -1,0 +1,78 @@
+package regress
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchRegData(n, p int) (x [][]float64, y []float64) {
+	rng := rand.New(rand.NewSource(1))
+	x = make([][]float64, n)
+	y = make([]float64, n)
+	for i := range x {
+		row := make([]float64, p)
+		var v float64
+		for j := range row {
+			row[j] = rng.Float64() * 5
+			v += float64(j+1) * row[j]
+		}
+		x[i] = row
+		y[i] = v + rng.NormFloat64()
+	}
+	return x, y
+}
+
+func BenchmarkFitOLS(b *testing.B) {
+	x, y := benchRegData(2000, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitOLS(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitLag(b *testing.B) {
+	x, y, w := synthLagData(1, 30, 30, 0.5, []float64{1, 2, -1}, 0.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitLag(x, y, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitError(b *testing.B) {
+	x, y, w := synthLagData(2, 30, 30, 0.4, []float64{1, 2, -1}, 0.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitError(x, y, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitGWR(b *testing.B) {
+	x, y, lat, lon := synthGWRData(3, 400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitGWR(x, y, lat, lon, GWROptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGWRPredict(b *testing.B) {
+	x, y, lat, lon := synthGWRData(4, 400)
+	g, err := FitGWR(x, y, lat, lon, GWROptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qx, _, qlat, qlon := synthGWRData(5, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Predict(qx, qlat, qlon); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package regress
+
+import (
+	"fmt"
+
+	"spatialrepart/internal/weights"
+)
+
+// Error is a spatial error model y = Xβ + u with u = λ·Wu + ε. λ is
+// estimated by a method-of-moments step on the OLS residuals and β by
+// feasible GLS on the spatially filtered (Cochrane–Orcutt style) system
+// (y − λWy) = (X − λWX)β + ε.
+type Error struct {
+	Lambda float64   // spatial error coefficient
+	Beta   []float64 // intercept followed by feature coefficients
+}
+
+// FitError estimates the spatial error model.
+func FitError(x [][]float64, y []float64, w *weights.W) (*Error, error) {
+	n := len(y)
+	if len(x) != n {
+		return nil, fmt.Errorf("regress: %d feature rows vs %d responses", len(x), n)
+	}
+	if w.N() != n {
+		return nil, fmt.Errorf("regress: weights cover %d instances, want %d", w.N(), n)
+	}
+
+	// Step 1: OLS residuals.
+	ols, err := FitOLS(x, y)
+	if err != nil {
+		return nil, err
+	}
+	fitted, err := ols.Predict(x)
+	if err != nil {
+		return nil, err
+	}
+	u := make([]float64, n)
+	for i := range u {
+		u[i] = y[i] - fitted[i]
+	}
+
+	// Step 2: Kelejian–Prucha GMM estimate of λ from the three moment
+	// conditions on ε = u − λWu (σ² profiled out, 1-D search over λ).
+	lambda, err := kpLambda(u, w)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 3: feasible GLS on the filtered system.
+	ys := make([]float64, n)
+	wyv, err := w.Lag(y)
+	if err != nil {
+		return nil, err
+	}
+	for i := range ys {
+		ys[i] = y[i] - lambda*wyv[i]
+	}
+	p := len(x[0])
+	xs := make([][]float64, n)
+	col := make([]float64, n)
+	wcols := make([][]float64, p)
+	for j := 0; j < p; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = x[i][j]
+		}
+		wc, err := w.Lag(col)
+		if err != nil {
+			return nil, err
+		}
+		wcols[j] = wc
+	}
+	for i := 0; i < n; i++ {
+		row := make([]float64, p)
+		for j := 0; j < p; j++ {
+			row[j] = x[i][j] - lambda*wcols[j][i]
+		}
+		xs[i] = row
+	}
+	// The filtered intercept column is (1 − λ·Wi·1) ≈ (1 − λ); FitOLS's
+	// plain intercept absorbs the constant scale, so the fitted β₀ is the
+	// filtered-system intercept. Rescale it back to the original system.
+	fgls, err := FitOLS(xs, ys)
+	if err != nil {
+		return nil, fmt.Errorf("regress: FGLS: %w", err)
+	}
+	beta := fgls.Beta
+	if lambda != 1 {
+		beta[0] /= 1 - lambda
+	}
+	return &Error{Lambda: lambda, Beta: beta}, nil
+}
+
+// kpLambda implements the Kelejian–Prucha (1999) moment estimator for the
+// spatial error coefficient. With u the OLS residuals, u1 = Wu, u2 = W²u and
+// ε = u − λ·u1, the three moment conditions
+//
+//	E[εᵀε]/n  = σ²
+//	E[ε₁ᵀε₁]/n = σ²·tr(WᵀW)/n   (ε₁ = Wε)
+//	E[εᵀε₁]/n  = 0              (diag(W) = 0)
+//
+// become a system linear in (λ, λ², σ²). σ² enters linearly and is profiled
+// out, leaving a smooth 1-D objective in λ minimized by scanning the
+// stationary interval (−0.99, 0.99) and refining around the best point.
+func kpLambda(u []float64, w *weights.W) (float64, error) {
+	n := float64(len(u))
+	u1, err := w.Lag(u)
+	if err != nil {
+		return 0, err
+	}
+	u2, err := w.Lag(u1)
+	if err != nil {
+		return 0, err
+	}
+	dot := func(a, b []float64) float64 {
+		var s float64
+		for i, v := range a {
+			s += v * b[i]
+		}
+		return s
+	}
+	uu, uu1, u1u1, u1u2, uu2, u2u2 := dot(u, u), dot(u, u1), dot(u1, u1), dot(u1, u2), dot(u, u2), dot(u2, u2)
+	// tr(WᵀW) for row-standardized binary W is Σᵢ 1/deg(i).
+	var trWW float64
+	for _, list := range w.Neighbors {
+		if len(list) > 0 {
+			trWW += 1 / float64(len(list))
+		}
+	}
+	// Moment system G·(λ, λ², σ²)ᵀ = g.
+	G := [3][3]float64{
+		{2 * uu1 / n, -u1u1 / n, 1},
+		{2 * u1u2 / n, -u2u2 / n, trWW / n},
+		{(u1u1 + uu2) / n, -u1u2 / n, 0},
+	}
+	g := [3]float64{uu / n, u1u1 / n, uu1 / n}
+
+	residual := func(lambda float64) float64 {
+		var r [3]float64
+		var num, den float64
+		for i := 0; i < 3; i++ {
+			r[i] = g[i] - G[i][0]*lambda - G[i][1]*lambda*lambda
+			num += G[i][2] * r[i]
+			den += G[i][2] * G[i][2]
+		}
+		sigma2 := 0.0
+		if den > 0 {
+			sigma2 = num / den
+		}
+		if sigma2 < 0 {
+			sigma2 = 0
+		}
+		var s float64
+		for i := 0; i < 3; i++ {
+			d := r[i] - sigma2*G[i][2]
+			s += d * d
+		}
+		return s
+	}
+
+	const bound = 0.99
+	best, bestRes := 0.0, residual(0)
+	for l := -bound; l <= bound; l += 0.005 {
+		if r := residual(l); r < bestRes {
+			best, bestRes = l, r
+		}
+	}
+	// Golden-section refinement around the grid winner.
+	lo, hi := best-0.005, best+0.005
+	for it := 0; it < 40; it++ {
+		m1 := lo + (hi-lo)*0.382
+		m2 := lo + (hi-lo)*0.618
+		if residual(m1) < residual(m2) {
+			hi = m2
+		} else {
+			lo = m1
+		}
+	}
+	lambda := (lo + hi) / 2
+	if lambda > bound {
+		lambda = bound
+	}
+	if lambda < -bound {
+		lambda = -bound
+	}
+	return lambda, nil
+}
+
+// Predict evaluates ŷ = Xβ + λ·lagResid, where lagResid is the spatial lag
+// of observed residuals (y_obs − Xβ) around the prediction sites; pass nil
+// to use the unconditional expectation Xβ.
+func (m *Error) Predict(x [][]float64, lagResid []float64) ([]float64, error) {
+	if lagResid != nil && len(lagResid) != len(x) {
+		return nil, fmt.Errorf("regress: %d feature rows vs %d residual lags", len(x), len(lagResid))
+	}
+	out := make([]float64, len(x))
+	for i, row := range x {
+		if len(row) != len(m.Beta)-1 {
+			return nil, fmt.Errorf("regress: row %d has %d features, want %d", i, len(row), len(m.Beta)-1)
+		}
+		v := m.Beta[0]
+		for j, f := range row {
+			v += m.Beta[j+1] * f
+		}
+		if lagResid != nil {
+			v += m.Lambda * lagResid[i]
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,111 @@
+package regress
+
+import (
+	"fmt"
+
+	"spatialrepart/internal/mat"
+	"spatialrepart/internal/weights"
+)
+
+// Lag is a spatial lag model y = ρ·Wy + Xβ + ε fitted by spatial two-stage
+// least squares (Kelejian–Prucha): the endogenous spatial lag Wy is
+// instrumented with [X, WX, W²X], which avoids the O(n³) log-determinants of
+// the maximum-likelihood estimator while remaining a standard, consistent
+// estimator for the same model.
+type Lag struct {
+	Rho  float64   // spatial autoregressive coefficient
+	Beta []float64 // intercept followed by feature coefficients
+}
+
+// FitLag estimates the spatial lag model. The weights object must cover
+// exactly the instances of x/y (binary contiguity, row-standardized lags).
+func FitLag(x [][]float64, y []float64, w *weights.W) (*Lag, error) {
+	n := len(y)
+	if len(x) != n {
+		return nil, fmt.Errorf("regress: %d feature rows vs %d responses", len(x), n)
+	}
+	if w.N() != n {
+		return nil, fmt.Errorf("regress: weights cover %d instances, want %d", w.N(), n)
+	}
+	design, err := designMatrix(x)
+	if err != nil {
+		return nil, err
+	}
+	p := design.Cols
+
+	wy, err := w.Lag(y)
+	if err != nil {
+		return nil, err
+	}
+
+	// Instruments H = [X | WX | W²X] (intercept only once).
+	nf := p - 1
+	h := mat.NewDense(n, p+2*nf)
+	col := make([]float64, n)
+	for j := 0; j < p; j++ {
+		for i := 0; i < n; i++ {
+			h.Set(i, j, design.At(i, j))
+		}
+	}
+	for j := 0; j < nf; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = design.At(i, j+1)
+		}
+		wx, err := w.Lag(col)
+		if err != nil {
+			return nil, err
+		}
+		w2x, err := w.Lag(wx)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			h.Set(i, p+j, wx[i])
+			h.Set(i, p+nf+j, w2x[i])
+		}
+	}
+
+	// First stage: project Wy onto the instrument space.
+	gamma, err := mat.LeastSquaresQR(h, wy)
+	if err != nil {
+		return nil, fmt.Errorf("regress: lag first stage: %w", err)
+	}
+	wyHat, err := mat.MulVec(h, gamma)
+	if err != nil {
+		return nil, err
+	}
+
+	// Second stage: regress y on [ŴY | X].
+	z := mat.NewDense(n, p+1)
+	for i := 0; i < n; i++ {
+		z.Set(i, 0, wyHat[i])
+		copy(z.Row(i)[1:], design.Row(i))
+	}
+	delta, err := mat.LeastSquaresQR(z, y)
+	if err != nil {
+		return nil, fmt.Errorf("regress: lag second stage: %w", err)
+	}
+	return &Lag{Rho: delta[0], Beta: delta[1:]}, nil
+}
+
+// Predict evaluates ŷ = ρ·lagY + Xβ, where lagY is the spatial lag of the
+// observed response at each prediction instance (computed by the caller from
+// whatever response values are observable around the prediction sites —
+// the transductive prediction protocol used for train/test evaluation).
+func (m *Lag) Predict(x [][]float64, lagY []float64) ([]float64, error) {
+	if len(x) != len(lagY) {
+		return nil, fmt.Errorf("regress: %d feature rows vs %d lags", len(x), len(lagY))
+	}
+	out := make([]float64, len(x))
+	for i, row := range x {
+		if len(row) != len(m.Beta)-1 {
+			return nil, fmt.Errorf("regress: row %d has %d features, want %d", i, len(row), len(m.Beta)-1)
+		}
+		v := m.Beta[0] + m.Rho*lagY[i]
+		for j, f := range row {
+			v += m.Beta[j+1] * f
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,69 @@
+// Package regress implements the spatial regression models of Table II:
+// ordinary least squares (the shared base), the spatial lag model (spatial
+// two-stage least squares with Kelejian–Prucha instruments), the spatial
+// error model (GMM λ estimate + feasible GLS), and geographically weighted
+// regression (Gaussian kernel, AICc bandwidth selection) — the models the
+// paper trains through PySAL, re-implemented from scratch on the stdlib.
+package regress
+
+import (
+	"fmt"
+
+	"spatialrepart/internal/mat"
+)
+
+// OLS is an ordinary least squares fit with intercept.
+type OLS struct {
+	// Beta holds the intercept in Beta[0] followed by one coefficient per
+	// feature.
+	Beta []float64
+}
+
+// FitOLS fits y = β₀ + β·x by least squares.
+func FitOLS(x [][]float64, y []float64) (*OLS, error) {
+	design, err := designMatrix(x)
+	if err != nil {
+		return nil, err
+	}
+	if design.Rows != len(y) {
+		return nil, fmt.Errorf("regress: %d rows vs %d responses", design.Rows, len(y))
+	}
+	beta, err := mat.LeastSquaresQR(design, y)
+	if err != nil {
+		return nil, fmt.Errorf("regress: OLS solve: %w", err)
+	}
+	return &OLS{Beta: beta}, nil
+}
+
+// Predict evaluates the fitted line at each feature vector.
+func (m *OLS) Predict(x [][]float64) ([]float64, error) {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		if len(row) != len(m.Beta)-1 {
+			return nil, fmt.Errorf("regress: row %d has %d features, want %d", i, len(row), len(m.Beta)-1)
+		}
+		v := m.Beta[0]
+		for j, f := range row {
+			v += m.Beta[j+1] * f
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// designMatrix prepends an intercept column of ones to the feature rows.
+func designMatrix(x [][]float64) (*mat.Dense, error) {
+	if len(x) == 0 {
+		return nil, fmt.Errorf("regress: empty design")
+	}
+	p := len(x[0])
+	d := mat.NewDense(len(x), p+1)
+	for i, row := range x {
+		if len(row) != p {
+			return nil, fmt.Errorf("regress: ragged design at row %d", i)
+		}
+		d.Set(i, 0, 1)
+		copy(d.Row(i)[1:], row)
+	}
+	return d, nil
+}

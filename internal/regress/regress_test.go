@@ -1,0 +1,336 @@
+package regress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spatialrepart/internal/metrics"
+	"spatialrepart/internal/weights"
+)
+
+func TestOLSRecoversLinearModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 200
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		a, b := rng.Float64()*10, rng.Float64()*10
+		x[i] = []float64{a, b}
+		y[i] = 5 + 2*a - 3*b
+	}
+	m, err := FitOLS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 2, -3}
+	for i := range want {
+		if math.Abs(m.Beta[i]-want[i]) > 1e-6 {
+			t.Errorf("Beta[%d] = %v, want %v", i, m.Beta[i], want[i])
+		}
+	}
+	pred, err := m.Predict([][]float64{{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pred[0]-4) > 1e-6 {
+		t.Errorf("Predict = %v, want 4", pred[0])
+	}
+}
+
+func TestOLSErrors(t *testing.T) {
+	if _, err := FitOLS(nil, nil); err == nil {
+		t.Error("want empty-design error")
+	}
+	if _, err := FitOLS([][]float64{{1}, {2, 3}}, []float64{1, 2}); err == nil {
+		t.Error("want ragged-design error")
+	}
+	if _, err := FitOLS([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("want length mismatch error")
+	}
+	m := &OLS{Beta: []float64{0, 1}}
+	if _, err := m.Predict([][]float64{{1, 2}}); err == nil {
+		t.Error("want predict arity error")
+	}
+}
+
+// gridWeights builds rook contiguity for an rows×cols lattice.
+func gridWeights(rows, cols int) *weights.W {
+	neighbors := make([][]int, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			i := r*cols + c
+			if r > 0 {
+				neighbors[i] = append(neighbors[i], i-cols)
+			}
+			if r < rows-1 {
+				neighbors[i] = append(neighbors[i], i+cols)
+			}
+			if c > 0 {
+				neighbors[i] = append(neighbors[i], i-1)
+			}
+			if c < cols-1 {
+				neighbors[i] = append(neighbors[i], i+1)
+			}
+		}
+	}
+	return weights.New(neighbors)
+}
+
+// synthLagData simulates y = ρWy + Xβ + ε by iterating the reduced form.
+func synthLagData(seed int64, rows, cols int, rho float64, beta []float64, noise float64) (x [][]float64, y []float64, w *weights.W) {
+	rng := rand.New(rand.NewSource(seed))
+	n := rows * cols
+	w = gridWeights(rows, cols)
+	x = make([][]float64, n)
+	xb := make([]float64, n)
+	for i := range x {
+		f := make([]float64, len(beta)-1)
+		v := beta[0]
+		for j := range f {
+			f[j] = rng.Float64() * 4
+			v += beta[j+1] * f[j]
+		}
+		x[i] = f
+		xb[i] = v + rng.NormFloat64()*noise
+	}
+	// Solve y = ρWy + xb by fixed-point iteration (|ρ| < 1 converges).
+	y = make([]float64, n)
+	copy(y, xb)
+	for it := 0; it < 100; it++ {
+		wy, _ := w.Lag(y)
+		for i := range y {
+			y[i] = xb[i] + rho*wy[i]
+		}
+	}
+	return x, y, w
+}
+
+func TestLagRecoversRho(t *testing.T) {
+	x, y, w := synthLagData(2, 20, 20, 0.5, []float64{1, 2, -1}, 0.1)
+	m, err := FitLag(x, y, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Rho-0.5) > 0.1 {
+		t.Errorf("Rho = %v, want ≈ 0.5", m.Rho)
+	}
+	if math.Abs(m.Beta[1]-2) > 0.3 || math.Abs(m.Beta[2]+1) > 0.3 {
+		t.Errorf("Beta = %v, want ≈ [1 2 -1]", m.Beta)
+	}
+}
+
+func TestLagPredictBeatsOLSOnLagData(t *testing.T) {
+	x, y, w := synthLagData(3, 16, 16, 0.6, []float64{0, 1.5}, 0.2)
+	m, err := FitLag(x, y, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wy, _ := w.Lag(y)
+	lagPred, err := m.Predict(x, wy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ols, _ := FitOLS(x, y)
+	olsPred, _ := ols.Predict(x)
+	lagRMSE, _ := metrics.RMSE(lagPred, y)
+	olsRMSE, _ := metrics.RMSE(olsPred, y)
+	if lagRMSE >= olsRMSE {
+		t.Errorf("lag RMSE %v should beat OLS RMSE %v on spatially lagged data", lagRMSE, olsRMSE)
+	}
+}
+
+func TestLagErrors(t *testing.T) {
+	w := gridWeights(2, 2)
+	if _, err := FitLag([][]float64{{1}}, []float64{1, 2, 3, 4}, w); err == nil {
+		t.Error("want row mismatch error")
+	}
+	if _, err := FitLag(make([][]float64, 4), []float64{1, 2, 3, 4}, gridWeights(1, 2)); err == nil {
+		t.Error("want weights size error")
+	}
+	m := &Lag{Rho: 0.5, Beta: []float64{0, 1}}
+	if _, err := m.Predict([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("want lag length error")
+	}
+	if _, err := m.Predict([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("want feature arity error")
+	}
+}
+
+func TestErrorModelRecoversLambda(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	rows, cols := 20, 20
+	n := rows * cols
+	w := gridWeights(rows, cols)
+	lambda := 0.6
+	beta := []float64{2, 1.5}
+	x := make([][]float64, n)
+	xb := make([]float64, n)
+	eps := make([]float64, n)
+	for i := range x {
+		f := rng.Float64() * 5
+		x[i] = []float64{f}
+		xb[i] = beta[0] + beta[1]*f
+		eps[i] = rng.NormFloat64()
+	}
+	// u = λWu + ε by fixed point.
+	u := make([]float64, n)
+	copy(u, eps)
+	for it := 0; it < 100; it++ {
+		wu, _ := w.Lag(u)
+		for i := range u {
+			u[i] = eps[i] + lambda*wu[i]
+		}
+	}
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = xb[i] + u[i]
+	}
+	m, err := FitError(x, y, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Lambda-lambda) > 0.2 {
+		t.Errorf("Lambda = %v, want ≈ %v", m.Lambda, lambda)
+	}
+	if math.Abs(m.Beta[1]-beta[1]) > 0.2 {
+		t.Errorf("Beta[1] = %v, want ≈ %v", m.Beta[1], beta[1])
+	}
+	// The intercept rescaling must roughly recover the original β₀.
+	if math.Abs(m.Beta[0]-beta[0]) > 1.0 {
+		t.Errorf("Beta[0] = %v, want ≈ %v", m.Beta[0], beta[0])
+	}
+}
+
+func TestErrorModelPredict(t *testing.T) {
+	m := &Error{Lambda: 0.5, Beta: []float64{1, 2}}
+	pred, err := m.Predict([][]float64{{3}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred[0] != 7 {
+		t.Errorf("Predict = %v, want 7", pred[0])
+	}
+	pred, err = m.Predict([][]float64{{3}}, []float64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred[0] != 8 {
+		t.Errorf("Predict with residual lag = %v, want 8", pred[0])
+	}
+	if _, err := m.Predict([][]float64{{3}}, []float64{1, 2}); err == nil {
+		t.Error("want residual lag length error")
+	}
+	if _, err := m.Predict([][]float64{{3, 4}}, nil); err == nil {
+		t.Error("want feature arity error")
+	}
+}
+
+func TestErrorModelInputValidation(t *testing.T) {
+	w := gridWeights(2, 2)
+	if _, err := FitError([][]float64{{1}}, []float64{1, 2, 3, 4}, w); err == nil {
+		t.Error("want row mismatch error")
+	}
+	if _, err := FitError(make([][]float64, 4), []float64{1, 2, 3, 4}, gridWeights(1, 2)); err == nil {
+		t.Error("want weights size error")
+	}
+}
+
+// synthGWRData has a coefficient that varies smoothly over space — the
+// setting where GWR beats global OLS.
+func synthGWRData(seed int64, n int) (x [][]float64, y, lat, lon []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	x = make([][]float64, n)
+	y = make([]float64, n)
+	lat = make([]float64, n)
+	lon = make([]float64, n)
+	for i := 0; i < n; i++ {
+		lat[i] = rng.Float64() * 10
+		lon[i] = rng.Float64() * 10
+		f := rng.Float64() * 5
+		x[i] = []float64{f}
+		localSlope := 1 + 0.5*lat[i] // slope drifts north
+		y[i] = 2 + localSlope*f + rng.NormFloat64()*0.1
+	}
+	return x, y, lat, lon
+}
+
+func TestGWRBeatsOLSOnSpatiallyVaryingData(t *testing.T) {
+	x, y, lat, lon := synthGWRData(5, 300)
+	g, err := FitGWR(x, y, lat, lon, GWROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwrPred, err := g.Predict(x, lat, lon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ols, _ := FitOLS(x, y)
+	olsPred, _ := ols.Predict(x)
+	gwrRMSE, _ := metrics.RMSE(gwrPred, y)
+	olsRMSE, _ := metrics.RMSE(olsPred, y)
+	if gwrRMSE >= olsRMSE {
+		t.Errorf("GWR RMSE %v should beat OLS RMSE %v on varying-coefficient data", gwrRMSE, olsRMSE)
+	}
+}
+
+func TestGWRFixedK(t *testing.T) {
+	x, y, lat, lon := synthGWRData(6, 100)
+	g, err := FitGWR(x, y, lat, lon, GWROptions{K: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.K != 20 {
+		t.Errorf("K = %d, want 20", g.K)
+	}
+	pred, err := g.Predict(x[:5], lat[:5], lon[:5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pred) != 5 {
+		t.Fatalf("pred len = %d", len(pred))
+	}
+	for _, p := range pred {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			t.Fatal("non-finite prediction")
+		}
+	}
+}
+
+func TestGWRErrors(t *testing.T) {
+	if _, err := FitGWR(nil, nil, nil, nil, GWROptions{}); err == nil {
+		t.Error("want empty error")
+	}
+	if _, err := FitGWR([][]float64{{1}}, []float64{1}, []float64{1, 2}, []float64{1}, GWROptions{}); err == nil {
+		t.Error("want length mismatch error")
+	}
+	x, y, lat, lon := synthGWRData(7, 50)
+	g, _ := FitGWR(x, y, lat, lon, GWROptions{K: 10})
+	if _, err := g.Predict([][]float64{{1}}, []float64{1}, []float64{1, 2}); err == nil {
+		t.Error("want predict length error")
+	}
+	if _, err := g.Predict([][]float64{{1, 2}}, []float64{1}, []float64{1}); err == nil {
+		t.Error("want predict arity error")
+	}
+}
+
+func TestGWRTinyDataset(t *testing.T) {
+	// Degenerate but must not crash: fewer points than p+2.
+	x := [][]float64{{1}, {2}, {3}}
+	y := []float64{1, 2, 3}
+	lat := []float64{0, 1, 2}
+	lon := []float64{0, 0, 0}
+	g, err := FitGWR(x, y, lat, lon, GWROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := g.Predict(x, lat, lon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pred {
+		if math.IsNaN(p) {
+			t.Fatal("NaN prediction on tiny dataset")
+		}
+	}
+}

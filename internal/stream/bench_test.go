@@ -1,0 +1,31 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+
+	"spatialrepart/internal/grid"
+)
+
+func BenchmarkAddAndCurrent(b *testing.B) {
+	bounds := grid.Bounds{MinLat: 0, MaxLat: 10, MinLon: 0, MaxLon: 10}
+	attrs := []grid.Attribute{{Name: "count", Agg: grid.Sum, Integer: true}}
+	s, err := New(bounds, 24, 24, attrs, Options{Threshold: 0.1, MinRecordsBetweenChecks: 1000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Add(grid.Record{
+			Lat: rng.Float64() * 10, Lon: rng.Float64() * 10, Values: []float64{1},
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if i%1000 == 999 {
+			if _, err := s.Current(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,227 @@
+// Package stream adapts the re-partitioning framework to streaming scenarios
+// — the last of the paper's §VI future-work directions. A Repartitioner
+// ingests raw spatial records, maintains per-cell aggregates, and keeps a
+// re-partitioned view of the grid that is recomputed lazily: an existing
+// partition is retained as long as re-allocating its feature vectors on the
+// freshest data keeps the information loss within the threshold, and a full
+// re-partitioning runs only when the stream has drifted past that bound.
+// Between recomputations readers pay only the (cheap) feature re-allocation.
+package stream
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"spatialrepart/internal/core"
+	"spatialrepart/internal/grid"
+)
+
+// Options configures a Repartitioner.
+type Options struct {
+	// Threshold is the IFL bound θ every served partition must satisfy.
+	Threshold float64
+	// MinRecordsBetweenChecks throttles staleness checks: Current() reuses
+	// the cached view until at least this many records arrived since the
+	// last check (0 = check on every call).
+	MinRecordsBetweenChecks int
+	// Schedule for full recomputations (default geometric).
+	Schedule core.Schedule
+}
+
+// Stats reports the stream's bookkeeping counters.
+type Stats struct {
+	Accepted   int // records inside the bounds
+	Dropped    int // records outside the bounds
+	Recomputes int // full re-partitionings performed
+	Refreshes  int // cheap feature-only refreshes that kept the partition
+}
+
+// Repartitioner maintains a re-partitioned view over a streaming grid. It is
+// safe for concurrent use.
+type Repartitioner struct {
+	mu     sync.Mutex
+	bounds grid.Bounds
+	rows   int
+	cols   int
+	attrs  []grid.Attribute
+	opts   Options
+
+	counts []int
+	sums   []float64
+	cats   []map[float64]int // per (cell, categorical attr) vote maps
+	catCol []int
+
+	current        *core.Repartitioned
+	sinceLastCheck int
+	stats          Stats
+}
+
+// New creates a streaming repartitioner over the given grid geometry.
+func New(bounds grid.Bounds, rows, cols int, attrs []grid.Attribute, opts Options) (*Repartitioner, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("stream: invalid grid %dx%d", rows, cols)
+	}
+	if opts.Threshold < 0 || opts.Threshold > 1 {
+		return nil, fmt.Errorf("stream: threshold %v outside [0,1]", opts.Threshold)
+	}
+	if err := grid.ValidateAttrs(attrs); err != nil {
+		return nil, err
+	}
+	a := make([]grid.Attribute, len(attrs))
+	copy(a, attrs)
+	s := &Repartitioner{
+		bounds: bounds,
+		rows:   rows,
+		cols:   cols,
+		attrs:  a,
+		opts:   opts,
+		counts: make([]int, rows*cols),
+		sums:   make([]float64, rows*cols*len(attrs)),
+	}
+	for k, at := range a {
+		if at.Categorical {
+			s.catCol = append(s.catCol, k)
+		}
+	}
+	if len(s.catCol) > 0 {
+		s.cats = make([]map[float64]int, rows*cols*len(s.catCol))
+	}
+	return s, nil
+}
+
+// Add ingests one record, updating the cell aggregates. Records outside the
+// bounds are counted and dropped.
+func (s *Repartitioner) Add(rec grid.Record) error {
+	if len(rec.Values) != len(s.attrs) {
+		return fmt.Errorf("stream: record has %d values, want %d", len(rec.Values), len(s.attrs))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, c, ok := s.bounds.CellOf(rec.Lat, rec.Lon, s.rows, s.cols)
+	if !ok {
+		s.stats.Dropped++
+		return nil
+	}
+	idx := r*s.cols + c
+	s.counts[idx]++
+	for k, v := range rec.Values {
+		s.sums[idx*len(s.attrs)+k] += v
+	}
+	for ci, k := range s.catCol {
+		m := s.cats[idx*len(s.catCol)+ci]
+		if m == nil {
+			m = map[float64]int{}
+			s.cats[idx*len(s.catCol)+ci] = m
+		}
+		m[rec.Values[k]]++
+	}
+	s.stats.Accepted++
+	s.sinceLastCheck++
+	return nil
+}
+
+// snapshotGrid materializes the current aggregates as a grid.
+func (s *Repartitioner) snapshotGrid() *grid.Grid {
+	g := grid.New(s.rows, s.cols, s.attrs)
+	p := len(s.attrs)
+	fv := make([]float64, p)
+	for idx, n := range s.counts {
+		if n == 0 {
+			continue
+		}
+		r, c := idx/s.cols, idx%s.cols
+		for k := 0; k < p; k++ {
+			v := s.sums[idx*p+k]
+			if s.attrs[k].Agg == grid.Average {
+				v /= float64(n)
+				if s.attrs[k].Integer {
+					v = math.Round(v)
+				}
+			}
+			fv[k] = v
+		}
+		for ci, k := range s.catCol {
+			fv[k] = modalVote(s.cats[idx*len(s.catCol)+ci])
+		}
+		g.SetVector(r, c, fv)
+	}
+	return g
+}
+
+// Current returns a re-partitioned view whose information loss against the
+// freshest aggregates is within the threshold. It retains the previous
+// partition when a feature-only refresh suffices, and re-partitions from
+// scratch otherwise.
+func (s *Repartitioner) Current() (*core.Repartitioned, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.current != nil && s.sinceLastCheck < s.opts.MinRecordsBetweenChecks {
+		return s.current, nil
+	}
+	g := s.snapshotGrid()
+	if s.current != nil && compatiblePartition(g, s.current.Partition) {
+		feats := core.AllocateFeatures(g, s.current.Partition)
+		if ifl := core.IFL(g, s.current.Partition, feats); ifl <= s.opts.Threshold {
+			s.current = &core.Repartitioned{
+				Source:          g,
+				Partition:       s.current.Partition,
+				Features:        feats,
+				IFL:             ifl,
+				MinAdjVariation: s.current.MinAdjVariation,
+			}
+			s.stats.Refreshes++
+			s.sinceLastCheck = 0
+			return s.current, nil
+		}
+	}
+	rp, err := core.Repartition(g, core.Options{Threshold: s.opts.Threshold, Schedule: s.opts.Schedule})
+	if err != nil {
+		return nil, err
+	}
+	s.current = rp
+	s.stats.Recomputes++
+	s.sinceLastCheck = 0
+	return s.current, nil
+}
+
+// compatiblePartition reports whether the old partition's null structure
+// still matches the grid (a previously empty cell that received records
+// invalidates its null group).
+func compatiblePartition(g *grid.Grid, p *core.Partition) bool {
+	for gi, cg := range p.Groups {
+		_ = gi
+		for r := cg.RBeg; r <= cg.REnd; r++ {
+			for c := cg.CBeg; c <= cg.CEnd; c++ {
+				if g.Valid(r, c) == cg.Null {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Stats returns the stream's counters.
+func (s *Repartitioner) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Grid returns a snapshot of the current aggregate grid.
+func (s *Repartitioner) Grid() *grid.Grid {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotGrid()
+}
+
+func modalVote(m map[float64]int) float64 {
+	best, bestN := math.Inf(1), -1
+	for v, n := range m {
+		if n > bestN || (n == bestN && v < best) {
+			best, bestN = v, n
+		}
+	}
+	return best
+}

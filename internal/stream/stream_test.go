@@ -1,0 +1,255 @@
+package stream
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"spatialrepart/internal/grid"
+)
+
+func testAttrs() []grid.Attribute {
+	return []grid.Attribute{
+		{Name: "count", Agg: grid.Sum, Integer: true},
+		{Name: "value", Agg: grid.Average},
+	}
+}
+
+func testBounds() grid.Bounds {
+	return grid.Bounds{MinLat: 0, MaxLat: 10, MinLon: 0, MaxLon: 10}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(testBounds(), 0, 5, testAttrs(), Options{Threshold: 0.1}); err == nil {
+		t.Error("want invalid-grid error")
+	}
+	if _, err := New(testBounds(), 5, 5, testAttrs(), Options{Threshold: 2}); err == nil {
+		t.Error("want threshold error")
+	}
+	bad := []grid.Attribute{{Name: "z", Agg: grid.Sum, Categorical: true}}
+	if _, err := New(testBounds(), 5, 5, bad, Options{Threshold: 0.1}); err == nil {
+		t.Error("want attrs validation error")
+	}
+}
+
+func TestAddAggregates(t *testing.T) {
+	s, err := New(testBounds(), 10, 10, testAttrs(), Options{Threshold: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(grid.Record{Lat: 0.5, Lon: 0.5, Values: []float64{1, 10}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(grid.Record{Lat: 0.5, Lon: 0.5, Values: []float64{1, 20}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(grid.Record{Lat: 99, Lon: 99, Values: []float64{1, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(grid.Record{Lat: 1, Lon: 1, Values: []float64{1}}); err == nil {
+		t.Error("want arity error")
+	}
+	g := s.Grid()
+	if g.At(0, 0, 0) != 2 {
+		t.Errorf("count = %v, want 2", g.At(0, 0, 0))
+	}
+	if g.At(0, 0, 1) != 15 {
+		t.Errorf("avg = %v, want 15", g.At(0, 0, 1))
+	}
+	st := s.Stats()
+	if st.Accepted != 2 || st.Dropped != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCurrentRespectsThreshold(t *testing.T) {
+	s, err := New(testBounds(), 8, 8, testAttrs(), Options{Threshold: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		lat, lon := rng.Float64()*10, rng.Float64()*10
+		base := 10 + lat // smooth gradient
+		if err := s.Add(grid.Record{Lat: lat, Lon: lon, Values: []float64{1, base}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rp, err := s.Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.IFL > 0.1 {
+		t.Errorf("served IFL = %v exceeds threshold", rp.IFL)
+	}
+	if rp.NumGroups() == 0 {
+		t.Error("no groups")
+	}
+}
+
+func TestRefreshKeepsPartitionUnderSmallDrift(t *testing.T) {
+	s, err := New(testBounds(), 6, 6, testAttrs(), Options{Threshold: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	feed := func(n int) {
+		for i := 0; i < n; i++ {
+			lat, lon := rng.Float64()*10, rng.Float64()*10
+			if err := s.Add(grid.Record{Lat: lat, Lon: lon, Values: []float64{1, 50}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	feed(400) // every cell populated with the same value
+	if _, err := s.Current(); err != nil {
+		t.Fatal(err)
+	}
+	feed(50) // mild drift: same distribution
+	if _, err := s.Current(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Recomputes != 1 {
+		t.Errorf("recomputes = %d, want exactly 1 (initial)", st.Recomputes)
+	}
+	if st.Refreshes < 1 {
+		t.Errorf("refreshes = %d, want ≥ 1 (drift was representable)", st.Refreshes)
+	}
+}
+
+func TestRecomputeOnNullStructureChange(t *testing.T) {
+	s, err := New(testBounds(), 4, 4, testAttrs(), Options{Threshold: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Populate only the left half.
+	if err := s.Add(grid.Record{Lat: 1, Lon: 1, Values: []float64{1, 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Current(); err != nil {
+		t.Fatal(err)
+	}
+	// A record lands in a previously-null cell: the old partition's null
+	// group no longer matches, forcing a recompute.
+	if err := s.Add(grid.Record{Lat: 9, Lon: 9, Values: []float64{1, 5}}); err != nil {
+		t.Fatal(err)
+	}
+	rp, err := s.Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Recomputes != 2 {
+		t.Errorf("recomputes = %d, want 2", st.Recomputes)
+	}
+	if rp.ValidGroups() < 2 {
+		t.Errorf("valid groups = %d, want ≥ 2", rp.ValidGroups())
+	}
+}
+
+func TestMinRecordsBetweenChecksThrottles(t *testing.T) {
+	s, err := New(testBounds(), 4, 4, testAttrs(), Options{Threshold: 0.2, MinRecordsBetweenChecks: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(grid.Record{Lat: 1, Lon: 1, Values: []float64{1, 5}}); err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A handful more records: under the check interval, the exact same view
+	// is served without any work.
+	for i := 0; i < 5; i++ {
+		if err := s.Add(grid.Record{Lat: 2, Lon: 2, Values: []float64{1, 5}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	second, err := s.Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Error("throttled Current should serve the cached view")
+	}
+}
+
+func TestConcurrentAddAndCurrent(t *testing.T) {
+	s, err := New(testBounds(), 8, 8, testAttrs(), Options{Threshold: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				_ = s.Add(grid.Record{
+					Lat: rng.Float64() * 10, Lon: rng.Float64() * 10,
+					Values: []float64{1, rng.Float64() * 100},
+				})
+				if i%50 == 0 {
+					_, _ = s.Current()
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	rp, err := s.Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.IFL > 0.3 {
+		t.Errorf("final IFL = %v exceeds threshold", rp.IFL)
+	}
+	st := s.Stats()
+	if st.Accepted != 800 {
+		t.Errorf("accepted = %d, want 800", st.Accepted)
+	}
+}
+
+func TestStreamCategoricalAttribute(t *testing.T) {
+	attrs := []grid.Attribute{
+		{Name: "count", Agg: grid.Sum, Integer: true},
+		{Name: "zone", Agg: grid.Average, Categorical: true},
+	}
+	s, err := New(testBounds(), 4, 4, attrs, Options{Threshold: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three records in one cell: zone 2 twice, zone 9 once → mode 2.
+	for _, z := range []float64{2, 9, 2} {
+		if err := s.Add(grid.Record{Lat: 1, Lon: 1, Values: []float64{1, z}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := s.Grid()
+	if g.At(0, 0, 1) != 2 {
+		t.Errorf("zone = %v, want modal 2", g.At(0, 0, 1))
+	}
+	if g.At(0, 0, 0) != 3 {
+		t.Errorf("count = %v, want 3", g.At(0, 0, 0))
+	}
+	if _, err := s.Current(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamEmptyCurrent(t *testing.T) {
+	s, err := New(testBounds(), 3, 3, testAttrs(), Options{Threshold: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No records yet: an all-null grid still re-partitions cleanly.
+	rp, err := s.Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.ValidGroups() != 0 {
+		t.Errorf("valid groups = %d, want 0", rp.ValidGroups())
+	}
+}

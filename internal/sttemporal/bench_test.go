@@ -1,0 +1,36 @@
+package sttemporal
+
+import (
+	"testing"
+
+	"spatialrepart/internal/datagen"
+	"spatialrepart/internal/grid"
+)
+
+func benchCube(b *testing.B, slices, rows, cols int) *Cube {
+	b.Helper()
+	var gs []*grid.Grid
+	for i := 0; i < slices; i++ {
+		// Alternate between two regimes so both phases do real work.
+		seed := int64(1)
+		if i >= slices/2 {
+			seed = 2
+		}
+		gs = append(gs, datagen.VehiclesUni(seed, rows, cols).Grid)
+	}
+	c, err := NewCube(gs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func BenchmarkRepartitionCube(b *testing.B) {
+	c := benchCube(b, 8, 24, 24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Repartition(c, Options{Threshold: 0.15}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package sttemporal
+
+import (
+	"fmt"
+
+	"spatialrepart/internal/core"
+	"spatialrepart/internal/grid"
+)
+
+// TrainingData flattens the reduced cube into a train-ready dataset: one
+// instance per (temporal segment, non-null cell-group). The feature vector
+// is the segment's group features minus the target, with the segment's
+// normalized midpoint time appended as an extra feature; neighbors combine
+// spatial adjacency within the same segment and temporal adjacency (the same
+// group in consecutive segments) — the structure spatio-temporal models
+// consume. A negative targetAttr keeps all attributes as features.
+func (r *Result) TrainingData(targetAttr int, bounds grid.Bounds) (*core.Dataset, error) {
+	first := r.Cube.Slices[0]
+	p := first.NumAttrs()
+	if targetAttr >= p {
+		return nil, fmt.Errorf("sttemporal: target attribute %d out of range (have %d)", targetAttr, p)
+	}
+	part := r.Partition
+	spatialAdj := part.AdjacencyList()
+	T := float64(r.Cube.T())
+
+	d := &core.Dataset{}
+	// instOf[si][gi] → instance index or −1.
+	instOf := make([][]int, len(r.Segments))
+	for si := range instOf {
+		instOf[si] = make([]int, len(part.Groups))
+		for gi := range instOf[si] {
+			instOf[si][gi] = -1
+		}
+	}
+	for si, seg := range r.Segments {
+		tMid := (float64(seg.TBeg) + float64(seg.TEnd) + 1) / 2 / T
+		for gi, cg := range part.Groups {
+			fv := r.Features[si][gi]
+			if fv == nil {
+				continue
+			}
+			instOf[si][gi] = d.Len()
+			x := make([]float64, 0, p)
+			for k := 0; k < p; k++ {
+				if k == targetAttr {
+					continue
+				}
+				x = append(x, fv[k])
+			}
+			x = append(x, tMid)
+			y := 0.0
+			if targetAttr >= 0 {
+				y = fv[targetAttr]
+			}
+			latB, lonB := bounds.CellCenter(cg.RBeg, cg.CBeg, part.Rows, part.Cols)
+			latE, lonE := bounds.CellCenter(cg.REnd, cg.CEnd, part.Rows, part.Cols)
+			d.X = append(d.X, x)
+			d.Y = append(d.Y, y)
+			d.Lat = append(d.Lat, (latB+latE)/2)
+			d.Lon = append(d.Lon, (lonB+lonE)/2)
+			d.Corners = append(d.Corners, [4][2]float64{{latB, lonB}, {latB, lonE}, {latE, lonB}, {latE, lonE}})
+			d.GroupSize = append(d.GroupSize, cg.Size()*seg.Len())
+			d.GroupID = append(d.GroupID, si*len(part.Groups)+gi)
+		}
+	}
+
+	// Neighbors: spatial within segment, temporal across consecutive
+	// segments for the same group.
+	d.Neighbors = make([][]int, d.Len())
+	for si := range r.Segments {
+		for gi := range part.Groups {
+			ii := instOf[si][gi]
+			if ii < 0 {
+				continue
+			}
+			for _, ngi := range spatialAdj[gi] {
+				if ni := instOf[si][ngi]; ni >= 0 {
+					d.Neighbors[ii] = append(d.Neighbors[ii], ni)
+				}
+			}
+			if si+1 < len(r.Segments) {
+				if ni := instOf[si+1][gi]; ni >= 0 {
+					d.Neighbors[ii] = append(d.Neighbors[ii], ni)
+					d.Neighbors[ni] = append(d.Neighbors[ni], ii)
+				}
+			}
+		}
+	}
+	return d, nil
+}

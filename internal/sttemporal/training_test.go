@@ -1,0 +1,98 @@
+package sttemporal
+
+import (
+	"testing"
+
+	"spatialrepart/internal/grid"
+	"spatialrepart/internal/weights"
+)
+
+func boundsT() grid.Bounds { return grid.Bounds{MinLat: 0, MaxLat: 1, MinLon: 0, MaxLon: 1} }
+
+func TestTrainingDataShape(t *testing.T) {
+	slices := []*grid.Grid{
+		slice(4, 4, 10), slice(4, 4, 10),
+		slice(4, 4, 100), slice(4, 4, 100),
+	}
+	c, _ := NewCube(slices)
+	res, err := Repartition(c, Options{Threshold: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := res.TrainingData(0, boundsT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One instance per segment×non-null group.
+	wantInstances := 0
+	for si := range res.Segments {
+		for gi := range res.Partition.Groups {
+			if res.Features[si][gi] != nil {
+				wantInstances++
+			}
+		}
+	}
+	if d.Len() != wantInstances {
+		t.Fatalf("instances = %d, want %d", d.Len(), wantInstances)
+	}
+	// Univariate target with the time feature appended: exactly 1 feature.
+	if d.NumFeatures() != 1 {
+		t.Fatalf("features = %d, want 1 (time)", d.NumFeatures())
+	}
+	// Time features lie in (0, 1] and differ across segments.
+	if res.NumSegments() >= 2 {
+		t0 := d.X[0][0]
+		tLast := d.X[d.Len()-1][0]
+		if t0 == tLast {
+			t.Error("time feature constant across segments")
+		}
+	}
+	for _, x := range d.X {
+		if x[len(x)-1] <= 0 || x[len(x)-1] > 1 {
+			t.Fatalf("time feature %v outside (0,1]", x[len(x)-1])
+		}
+	}
+}
+
+func TestTrainingDataNeighbors(t *testing.T) {
+	slices := []*grid.Grid{slice(3, 3, 1), slice(3, 3, 50)}
+	c, _ := NewCube(slices)
+	res, err := Repartition(c, Options{Threshold: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := res.TrainingData(0, boundsT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := weights.New(d.Neighbors)
+	if err := w.Validate(); err != nil {
+		t.Fatalf("adjacency invalid: %v", err)
+	}
+	// With two segments and a single group each (constant slices), the two
+	// instances must be temporal neighbors of each other.
+	if res.NumSegments() == 2 && d.Len() == 2 {
+		if len(d.Neighbors[0]) != 1 || d.Neighbors[0][0] != 1 {
+			t.Errorf("temporal adjacency missing: %v", d.Neighbors)
+		}
+	}
+}
+
+func TestTrainingDataTargetValidation(t *testing.T) {
+	c, _ := NewCube([]*grid.Grid{slice(2, 2, 1)})
+	res, err := Repartition(c, Options{Threshold: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.TrainingData(5, boundsT()); err == nil {
+		t.Error("want target range error")
+	}
+	d, err := res.TrainingData(-1, boundsT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unsupervised: all attributes + time.
+	if d.NumFeatures() != 2 {
+		t.Errorf("unsupervised features = %d, want 2", d.NumFeatures())
+	}
+}

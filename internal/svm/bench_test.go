@@ -1,0 +1,54 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func benchData(n int) (x [][]float64, y []float64) {
+	rng := rand.New(rand.NewSource(1))
+	x = make([][]float64, n)
+	y = make([]float64, n)
+	for i := range x {
+		a, b := rng.Float64()*2-1, rng.Float64()*2-1
+		x[i] = []float64{a, b}
+		y[i] = math.Sin(2*a) + 0.5*b
+	}
+	return x, y
+}
+
+func BenchmarkFitSVR500(b *testing.B) {
+	x, y := benchData(500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitSVR(x, y, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitSVRUncached500(b *testing.B) {
+	x, y := benchData(500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitSVR(x, y, Options{MaxKernelCache: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSVRPredict(b *testing.B) {
+	x, y := benchData(500)
+	m, err := FitSVR(x, y, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, _ := benchData(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Predict(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
