@@ -174,6 +174,23 @@ func BenchmarkRepartitionMultivariate(b *testing.B) {
 	}
 }
 
+// BenchmarkRepartitionMultivariateSequential pins Workers=1. The default
+// (BenchmarkRepartitionMultivariate, Workers unset = all cores) evaluates
+// speculative rung batches concurrently; this is the single-core baseline —
+// same grid, same θ, byte-identical result. The delta between the two is the
+// speedup of the parallel rung evaluation.
+func BenchmarkRepartitionMultivariateSequential(b *testing.B) {
+	ds := datagen.HomeSales(1, 32, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spatialrepart.Repartition(ds.Grid, spatialrepart.Options{
+			Threshold: 0.1, Schedule: spatialrepart.ScheduleGeometric, Workers: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkAdjacencyList measures Algorithm 3 on a re-partitioned grid.
 func BenchmarkAdjacencyList(b *testing.B) {
 	ds := datagen.TaxiTripsUni(1, 48, 48)

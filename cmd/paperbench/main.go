@@ -33,12 +33,14 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run: fig5|fig6|fig7|fig8|fig9|fig10|table2|table3|table4|table5|ablation|all")
 	seed := flag.Int64("seed", 0, "override the dataset seed (0 keeps the default)")
 	csvDir := flag.String("csv", "", "also write each experiment's rows as CSV into this directory")
+	workers := flag.Int("workers", 0, "goroutines per re-partitioning call (0 = all cores, 1 = sequential; results are identical either way)")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	cfg.Workers = *workers
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)

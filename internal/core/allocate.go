@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sort"
 
 	"spatialrepart/internal/grid"
 )
@@ -26,10 +27,20 @@ func AllocateFeaturesMeanOnly(orig *grid.Grid, part *Partition) [][]float64 {
 }
 
 func allocate(orig *grid.Grid, part *Partition, meanOnly bool) [][]float64 {
-	p := orig.NumAttrs()
 	feats := make([][]float64, len(part.Groups))
+	allocateRange(orig, part, feats, 0, len(part.Groups), meanOnly)
+	return feats
+}
+
+// allocateRange fills feats[lo:hi] for the groups in that index range. Each
+// group's feature vector depends only on that group's cells, so disjoint
+// ranges can run concurrently and produce output bit-identical to the
+// sequential pass.
+func allocateRange(orig *grid.Grid, part *Partition, feats [][]float64, lo, hi int, meanOnly bool) {
+	p := orig.NumAttrs()
 	vals := make([]float64, 0, 64)
-	for gi, cg := range part.Groups {
+	for gi := lo; gi < hi; gi++ {
+		cg := part.Groups[gi]
 		if cg.Null {
 			continue
 		}
@@ -53,7 +64,6 @@ func allocate(orig *grid.Grid, part *Partition, meanOnly bool) [][]float64 {
 		}
 		feats[gi] = fv
 	}
-	return feats
 }
 
 // allocateAttr computes one attribute's representative value for a group's
@@ -107,16 +117,25 @@ func mean(vals []float64) float64 {
 }
 
 // mode returns the most frequently occurring value; among equally frequent
-// values the smallest wins, which keeps the result deterministic.
+// values the smallest wins, which keeps the result deterministic. It sorts
+// vals in place and scans runs — the callers treat vals as unordered scratch,
+// and this avoids the per-call map that used to dominate the rung loop's
+// allocation profile.
 func mode(vals []float64) float64 {
-	counts := make(map[float64]int, len(vals))
-	for _, v := range vals {
-		counts[v]++
+	if len(vals) == 0 {
+		return math.Inf(1)
 	}
-	best, bestN := math.Inf(1), -1
-	for v, n := range counts {
-		if n > bestN || (n == bestN && v < best) {
-			best, bestN = v, n
+	sort.Float64s(vals)
+	best, bestN := vals[0], 1
+	run := 1
+	for i := 1; i < len(vals); i++ {
+		if vals[i] == vals[i-1] {
+			run++
+		} else {
+			run = 1
+		}
+		if run > bestN {
+			best, bestN = vals[i], run
 		}
 	}
 	return best

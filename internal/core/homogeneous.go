@@ -58,29 +58,34 @@ func Homogeneous(g *grid.Grid, k int, mode MergeMode) (*Repartitioned, error) {
 		Cols:        g.Cols,
 		CellToGroup: make([]int, g.NumCells()),
 	}
+	var validCells []int
 	for rb := 0; rb < g.Rows; rb += kr {
 		re := min(rb+kr-1, g.Rows-1)
 		for cb := 0; cb < g.Cols; cb += kc {
 			ce := min(cb+kc-1, g.Cols-1)
-			cg := CellGroup{RBeg: rb, REnd: re, CBeg: cb, CEnd: ce, Null: true}
+			cg := CellGroup{RBeg: rb, REnd: re, CBeg: cb, CEnd: ce}
 			id := len(part.Groups)
+			nValid := 0
 			for r := rb; r <= re; r++ {
 				for c := cb; c <= ce; c++ {
 					part.CellToGroup[r*g.Cols+c] = id
 					if g.Valid(r, c) {
-						cg.Null = false
+						nValid++
 					}
 				}
 			}
+			cg.Null = nValid == 0
 			part.Groups = append(part.Groups, cg)
+			validCells = append(validCells, nValid)
 		}
 	}
 	feats := allocateHomogeneous(g, part)
 	return &Repartitioned{
-		Source:    g,
-		Partition: part,
-		Features:  feats,
-		IFL:       iflValidOnly(g, part, feats),
+		Source:     g,
+		Partition:  part,
+		Features:   feats,
+		IFL:        iflValidOnly(g, part, feats, validCells),
+		ValidCells: validCells,
 	}, nil
 }
 
@@ -137,17 +142,12 @@ func allocateHomogeneous(g *grid.Grid, part *Partition) [][]float64 {
 
 // iflValidOnly is Eq. 3 with the representative of a sum-aggregated block
 // divided by the count of VALID cells in the block (mixed blocks would
-// otherwise smear mass onto null cells that contribute nothing).
-func iflValidOnly(g *grid.Grid, part *Partition, feats [][]float64) float64 {
+// otherwise smear mass onto null cells that contribute nothing). The caller
+// supplies the per-group valid-cell counts it already tracked —
+// Repartitioned.ValidCells, the same counts ReconstructGrid and
+// DistributeToCells use for the §III-C mapping.
+func iflValidOnly(g *grid.Grid, part *Partition, feats [][]float64, validInGroup []int) float64 {
 	p := g.NumAttrs()
-	validInGroup := make([]int, len(part.Groups))
-	for r := 0; r < g.Rows; r++ {
-		for c := 0; c < g.Cols; c++ {
-			if g.Valid(r, c) {
-				validInGroup[part.GroupOf(r, c)]++
-			}
-		}
-	}
 	spans := attrSpans(g)
 	var sum float64
 	valid := 0

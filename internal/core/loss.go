@@ -68,9 +68,19 @@ func attrSpans(g *grid.Grid) []float64 {
 func IFL(orig *grid.Grid, part *Partition, feats [][]float64) float64 {
 	p := orig.NumAttrs()
 	spans := attrSpans(orig)
-	var sum float64
-	valid := 0
-	for r := 0; r < orig.Rows; r++ {
+	sum, valid := iflRows(orig, part, feats, spans, 0, orig.Rows)
+	if valid == 0 || p == 0 {
+		return 0
+	}
+	return sum / float64(valid*p)
+}
+
+// iflRows accumulates the Eq. 3 numerator and valid-cell count over rows
+// [r0, r1), in row-major order — the shard primitive behind IFL (full range)
+// and IFLParallel (fixed row blocks).
+func iflRows(orig *grid.Grid, part *Partition, feats [][]float64, spans []float64, r0, r1 int) (sum float64, valid int) {
+	p := orig.NumAttrs()
+	for r := r0; r < r1; r++ {
 		for c := 0; c < orig.Cols; c++ {
 			if !orig.Valid(r, c) {
 				continue
@@ -85,8 +95,5 @@ func IFL(orig *grid.Grid, part *Partition, feats [][]float64) float64 {
 			}
 		}
 	}
-	if valid == 0 || p == 0 {
-		return 0
-	}
-	return sum / float64(valid*p)
+	return sum, valid
 }

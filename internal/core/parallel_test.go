@@ -1,0 +1,253 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"spatialrepart/internal/grid"
+)
+
+// equalRepartitioned compares every caller-visible field of two results.
+// Byte-identical means exactly that: IFL and Features must match bitwise,
+// not within a tolerance.
+func equalRepartitioned(t *testing.T, label string, a, b *Repartitioned) {
+	t.Helper()
+	if !reflect.DeepEqual(a.Partition, b.Partition) {
+		t.Errorf("%s: partitions differ", label)
+	}
+	if !reflect.DeepEqual(a.Features, b.Features) {
+		t.Errorf("%s: features differ", label)
+	}
+	if a.IFL != b.IFL {
+		t.Errorf("%s: IFL %v vs %v", label, a.IFL, b.IFL)
+	}
+	if a.MinAdjVariation != b.MinAdjVariation {
+		t.Errorf("%s: MinAdjVariation %v vs %v", label, a.MinAdjVariation, b.MinAdjVariation)
+	}
+	if a.Iterations != b.Iterations {
+		t.Errorf("%s: Iterations %d vs %d", label, a.Iterations, b.Iterations)
+	}
+}
+
+// TestRepartitionWorkersByteIdentical: for both schedules and a spread of
+// thresholds, Workers > 1 must return exactly the Workers = 1 result —
+// partition, features, IFL, accepted rung, and iteration count.
+func TestRepartitionWorkersByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	schedules := []Schedule{ScheduleExact, ScheduleGeometric}
+	thresholds := []float64{0, 0.02, 0.1, 0.3, 1}
+	for trial := 0; trial < 25; trial++ {
+		g := randomMultiGrid(rng)
+		for _, sched := range schedules {
+			for _, th := range thresholds {
+				seq, err := Repartition(g, Options{Threshold: th, Schedule: sched, Workers: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, w := range []int{2, 3, 7} {
+					par, err := Repartition(g, Options{Threshold: th, Schedule: sched, Workers: w})
+					if err != nil {
+						t.Fatal(err)
+					}
+					equalRepartitioned(t, schedLabel(sched, th, w), seq, par)
+				}
+			}
+		}
+	}
+}
+
+func schedLabel(s Schedule, th float64, w int) string {
+	name := "exact"
+	if s == ScheduleGeometric {
+		name = "geometric"
+	}
+	return name + "/θ=" + formatFloat(th) + "/workers=" + string(rune('0'+w))
+}
+
+func formatFloat(f float64) string {
+	switch f {
+	case 0:
+		return "0"
+	case 1:
+		return "1"
+	default:
+		return "frac"
+	}
+}
+
+// TestSchedulesAgreeUnderMonotoneIFL: whenever the per-rung IFL curve is
+// monotone non-decreasing (the documented condition for geometric ≡ exact),
+// the two schedules must return the same partition and loss. Non-monotone
+// curves are skipped — there the geometric search is allowed to land on a
+// different rung.
+func TestSchedulesAgreeUnderMonotoneIFL(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	checked := 0
+	for trial := 0; trial < 80 && checked < 25; trial++ {
+		g := randomMultiGrid(rng)
+		norm, _ := g.Normalized()
+		field := BuildField(norm)
+		ladder := field.Ladder()
+		monotone := true
+		prev := math.Inf(-1)
+		for i := 0; i < ladder.Len(); i++ {
+			part := ExtractField(field, ladder.Rung(i))
+			loss := IFL(g, part, AllocateFeatures(g, part))
+			if loss < prev {
+				monotone = false
+				break
+			}
+			prev = loss
+		}
+		if !monotone {
+			continue
+		}
+		checked++
+		for _, th := range []float64{0, 0.05, 0.2, 1} {
+			ex, err := Repartition(g, Options{Threshold: th, Schedule: ScheduleExact})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ge, err := Repartition(g, Options{Threshold: th, Schedule: ScheduleGeometric})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ex.Partition, ge.Partition) {
+				t.Errorf("trial %d θ=%v: schedules disagree on partition", trial, th)
+			}
+			if ex.IFL != ge.IFL {
+				t.Errorf("trial %d θ=%v: IFL %v (exact) vs %v (geometric)", trial, th, ex.IFL, ge.IFL)
+			}
+			if ex.MinAdjVariation != ge.MinAdjVariation {
+				t.Errorf("trial %d θ=%v: accepted rung %v vs %v", trial, th, ex.MinAdjVariation, ge.MinAdjVariation)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no monotone-IFL grids generated; test is vacuous")
+	}
+}
+
+// TestAllocateFeaturesParallelBitIdentical: group allocation is embarrassingly
+// parallel (groups are independent), so the sharded variant must be bitwise
+// equal to the sequential one at every worker count, including on grids large
+// enough to clear the parallel-dispatch minimum.
+func TestAllocateFeaturesParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 10; trial++ {
+		rows, cols := 16+rng.Intn(17), 16+rng.Intn(17)
+		g := grid.New(rows, cols, []grid.Attribute{
+			{Name: "n", Agg: grid.Sum, Integer: true},
+			{Name: "price", Agg: grid.Average},
+			{Name: "zone", Agg: grid.Average, Categorical: true},
+		})
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				if rng.Float64() < 0.1 {
+					continue
+				}
+				g.SetVector(r, c, []float64{float64(1 + rng.Intn(9)), rng.Float64() * 500, float64(rng.Intn(5))})
+			}
+		}
+		part := Identity(g) // rows*cols groups: well past the dispatch minimum
+		want := AllocateFeatures(g, part)
+		for _, w := range []int{0, 1, 2, 5, 16} {
+			if got := AllocateFeaturesParallel(g, part, w); !reflect.DeepEqual(want, got) {
+				t.Fatalf("AllocateFeaturesParallel(workers=%d) differs", w)
+			}
+		}
+		// Coarser partition too (mixed group sizes).
+		rp, err := Repartition(g, Options{Threshold: 0.3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = AllocateFeatures(g, rp.Partition)
+		for _, w := range []int{2, 8} {
+			if got := AllocateFeaturesParallel(g, rp.Partition, w); !reflect.DeepEqual(want, got) {
+				t.Fatalf("coarse AllocateFeaturesParallel(workers=%d) differs", w)
+			}
+		}
+	}
+}
+
+// TestIFLParallelWorkerInvariant: the blocked IFL reduction must return the
+// same bits for every worker count (blocks are fixed and combined in block
+// order, independent of scheduling), and agree with the sequential IFL to
+// floating-point reassociation tolerance.
+func TestIFLParallelWorkerInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		g := randomMultiGrid(rng)
+		rp, err := Repartition(g, Options{Threshold: 0.25})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := IFLParallel(g, rp.Partition, rp.Features, 1)
+		for _, w := range []int{0, 2, 4, 16} {
+			if got := IFLParallel(g, rp.Partition, rp.Features, w); got != ref {
+				t.Fatalf("IFLParallel(workers=%d) = %v, want %v (must be worker-invariant)", w, got, ref)
+			}
+		}
+		if seq := IFL(g, rp.Partition, rp.Features); math.Abs(seq-ref) > 1e-12 {
+			t.Fatalf("IFLParallel %v differs from IFL %v beyond reassociation tolerance", ref, seq)
+		}
+	}
+}
+
+// TestSpeculativeMids covers the bisection speculation helper: the first mid
+// must always be the sequential walk's next probe, every mid must lie in a
+// span the walk could still visit, and there must be no duplicates.
+func TestSpeculativeMids(t *testing.T) {
+	cases := []struct{ lo, hi, budget int }{
+		{0, 0, 4}, {0, 1, 4}, {0, 9, 1}, {0, 9, 4}, {3, 40, 8}, {5, 5, 2},
+	}
+	for _, tc := range cases {
+		mids := speculativeMids(tc.lo, tc.hi, tc.budget)
+		if len(mids) == 0 {
+			t.Fatalf("speculativeMids(%d,%d,%d): empty", tc.lo, tc.hi, tc.budget)
+		}
+		if len(mids) > tc.budget {
+			t.Fatalf("speculativeMids(%d,%d,%d): %d mids exceed budget", tc.lo, tc.hi, tc.budget, len(mids))
+		}
+		if mids[0] != (tc.lo+tc.hi)/2 {
+			t.Errorf("speculativeMids(%d,%d,%d): first mid %d is not the sequential probe %d",
+				tc.lo, tc.hi, tc.budget, mids[0], (tc.lo+tc.hi)/2)
+		}
+		seen := map[int]bool{}
+		for _, m := range mids {
+			if m < tc.lo || m > tc.hi {
+				t.Errorf("mid %d outside [%d,%d]", m, tc.lo, tc.hi)
+			}
+			if seen[m] {
+				t.Errorf("duplicate mid %d", m)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+// TestMaxIterationsForcesSequentialCutoff: a finite iteration budget must
+// produce the identical truncated result regardless of the Workers setting
+// (the implementation forces the sequential path under a budget).
+func TestMaxIterationsForcesSequentialCutoff(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	g := randomMultiGrid(rng)
+	for _, sched := range []Schedule{ScheduleExact, ScheduleGeometric} {
+		for _, budget := range []int{1, 2, 3} {
+			a, err := Repartition(g, Options{Threshold: 1, Schedule: sched, MaxIterations: budget, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Repartition(g, Options{Threshold: 1, Schedule: sched, MaxIterations: budget, Workers: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			equalRepartitioned(t, "budgeted", a, b)
+			if a.Iterations > budget {
+				t.Errorf("iterations %d exceed budget %d", a.Iterations, budget)
+			}
+		}
+	}
+}

@@ -9,8 +9,11 @@ import (
 // ReconstructGrid maps the re-partitioned dataset back to a full-resolution
 // grid (paper §III-C): every input cell receives the representative value of
 // its cell-group — the group value itself for average-aggregated attributes,
-// or the group value divided by the group's cell count for sum-aggregated
-// ones. Null groups reconstruct to null cells.
+// or the group value divided by the group's VALID-cell count for
+// sum-aggregated ones. Null groups reconstruct to null cells, and on
+// partitions whose rectangles mix null and valid cells (Homogeneous, which
+// sets ValidCells) the null cells inside mixed groups stay null instead of
+// being resurrected with smeared values.
 func (rp *Repartitioned) ReconstructGrid() *grid.Grid {
 	src := rp.Source
 	out := grid.New(src.Rows, src.Cols, src.Attrs)
@@ -23,7 +26,10 @@ func (rp *Repartitioned) ReconstructGrid() *grid.Grid {
 			if feats == nil {
 				continue
 			}
-			size := rp.Partition.Groups[gi].Size()
+			if rp.ValidCells != nil && !src.Valid(r, c) {
+				continue // null cell inside a mixed block stays null
+			}
+			size := rp.GroupValidCells(gi)
 			for k := 0; k < p; k++ {
 				fv[k] = Representative(src.Attrs[k], feats[k], size)
 			}
@@ -36,8 +42,11 @@ func (rp *Repartitioned) ReconstructGrid() *grid.Grid {
 // DistributeToCells spreads arbitrary per-group values (for example, the
 // predictions a model produced for the cell-groups) onto the input cells,
 // applying the §III-C mapping for the aggregation type of the target
-// attribute. The returned slice is indexed by linear cell index; cells whose
-// group is null receive NaN-free zero and false in the validity slice.
+// attribute: sum-aggregated values are split across the group's VALID cells,
+// average-aggregated values apply to each cell directly. The returned slice
+// is indexed by linear cell index; cells whose group is null — and, on
+// mixed-block partitions (ValidCells set), null cells inside valid groups —
+// receive zero and false in the validity slice.
 func (rp *Repartitioned) DistributeToCells(groupValues []float64, attr grid.Attribute) (values []float64, valid []bool, err error) {
 	if len(groupValues) != len(rp.Partition.Groups) {
 		return nil, nil, fmt.Errorf("core: %d group values for %d groups", len(groupValues), len(rp.Partition.Groups))
@@ -51,7 +60,13 @@ func (rp *Repartitioned) DistributeToCells(groupValues []float64, attr grid.Attr
 		if cg.Null {
 			continue
 		}
-		values[idx] = Representative(attr, groupValues[gi], cg.Size())
+		if rp.ValidCells != nil {
+			r, c := idx/rp.Partition.Cols, idx%rp.Partition.Cols
+			if !rp.Source.Valid(r, c) {
+				continue // null cell inside a mixed block
+			}
+		}
+		values[idx] = Representative(attr, groupValues[gi], rp.GroupValidCells(gi))
 		valid[idx] = true
 	}
 	return values, valid, nil

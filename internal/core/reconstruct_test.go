@@ -83,6 +83,106 @@ func TestReconstructRoundTripZeroThreshold(t *testing.T) {
 	}
 }
 
+// TestReconstructMixedNullHomogeneous is the regression test for the mixed-
+// block bug: a homogeneous block covering 3 valid cells and 1 null cell must
+// reconstruct the null cell as null (not resurrect it) and divide the block's
+// sum by the 3 VALID cells (not the 4-cell rectangle), so the reconstructed
+// mass over the valid cells equals the original mass exactly.
+func TestReconstructMixedNullHomogeneous(t *testing.T) {
+	g := grid.New(2, 2, []grid.Attribute{{Name: "v", Agg: grid.Sum}})
+	g.Set(0, 0, 0, 10)
+	g.Set(0, 1, 0, 20)
+	g.Set(1, 0, 0, 30)
+	// (1,1) stays null.
+	rp, err := Homogeneous(g, 2, MergeBoth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.ValidCells == nil || rp.GroupValidCells(0) != 3 {
+		t.Fatalf("valid-cell count = %v, want [3]", rp.ValidCells)
+	}
+	out := rp.ReconstructGrid()
+	if out.Valid(1, 1) {
+		t.Error("null cell resurrected by reconstruction")
+	}
+	var mass float64
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 2; c++ {
+			if !g.Valid(r, c) {
+				continue
+			}
+			if !out.Valid(r, c) {
+				t.Fatalf("valid cell (%d,%d) lost", r, c)
+			}
+			if want := 60.0 / 3.0; out.At(r, c, 0) != want {
+				t.Errorf("cell (%d,%d) = %v, want %v (sum/valid-count)", r, c, out.At(r, c, 0), want)
+			}
+			mass += out.At(r, c, 0)
+		}
+	}
+	if mass != 60 {
+		t.Errorf("reconstructed mass = %v, want 60 (conserved)", mass)
+	}
+}
+
+// TestDistributeToCellsMixedNull: predictions distributed over a mixed block
+// are split across the valid cells only; the null cell gets zero/false.
+func TestDistributeToCellsMixedNull(t *testing.T) {
+	g := grid.New(2, 2, []grid.Attribute{{Name: "v", Agg: grid.Sum}})
+	g.Set(0, 0, 0, 1)
+	g.Set(0, 1, 0, 1)
+	g.Set(1, 0, 0, 1)
+	rp, err := Homogeneous(g, 2, MergeBoth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, valid, err := rp.DistributeToCells([]float64{9}, g.Attrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if valid[3] || vals[3] != 0 {
+		t.Errorf("null cell got (%v, %v), want (0, false)", vals[3], valid[3])
+	}
+	for _, idx := range []int{0, 1, 2} {
+		if !valid[idx] || vals[idx] != 3 {
+			t.Errorf("cell %d = (%v, %v), want (3, true): 9 split over 3 valid cells", idx, vals[idx], valid[idx])
+		}
+	}
+}
+
+// TestHomogeneousMixedNullIFLFinite: the served IFL of a mixed-null
+// homogeneous partition must be computed against valid cells only, so a
+// constant-valued grid with holes has zero loss.
+func TestHomogeneousMixedNullIFLFinite(t *testing.T) {
+	g := grid.New(4, 4, []grid.Attribute{{Name: "v", Agg: grid.Average}})
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			if (r+c)%3 == 0 {
+				continue // scatter nulls through every block
+			}
+			g.Set(r, c, 0, 7)
+		}
+	}
+	rp, err := Homogeneous(g, 2, MergeBoth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.IFL != 0 {
+		t.Errorf("IFL = %v, want 0 for a constant grid", rp.IFL)
+	}
+	out := rp.ReconstructGrid()
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			if out.Valid(r, c) != g.Valid(r, c) {
+				t.Errorf("(%d,%d) validity %v, want %v", r, c, out.Valid(r, c), g.Valid(r, c))
+			}
+			if g.Valid(r, c) && out.At(r, c, 0) != 7 {
+				t.Errorf("(%d,%d) = %v, want 7", r, c, out.At(r, c, 0))
+			}
+		}
+	}
+}
+
 func TestDistributeToCells(t *testing.T) {
 	g := grid.New(1, 3, []grid.Attribute{{Name: "v", Agg: grid.Sum}})
 	g.Set(0, 0, 0, 1)

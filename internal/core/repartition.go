@@ -31,8 +31,15 @@ type Options struct {
 	// Schedule picks the iteration schedule; default ScheduleExact.
 	Schedule Schedule
 	// MaxIterations caps the number of extract/allocate/loss iterations.
-	// 0 means unlimited.
+	// 0 means unlimited. A finite cap forces the sequential path so the
+	// budget cuts off the search at exactly the evaluation the paper's
+	// loop would have reached.
 	MaxIterations int
+	// Workers bounds the goroutines used for the variation-field build and
+	// for speculative rung evaluation. 0 means runtime.GOMAXPROCS(0);
+	// 1 forces the sequential path. The returned Partition, Features, and
+	// IFL are byte-identical for every value.
+	Workers int
 }
 
 // Repartitioned is the output of the framework: the re-partitioned dataset
@@ -45,8 +52,27 @@ type Repartitioned struct {
 	Features  [][]float64 // per-group feature vectors; nil for null groups
 	IFL       float64     // information loss of this partition vs. Source
 
+	// ValidCells, when non-nil, holds the number of VALID source cells in
+	// each cell-group. Constructors whose rectangles may mix null and valid
+	// cells (Homogeneous) must set it; when nil, every cell of a non-null
+	// group is valid — the ML-aware invariant — and counts fall back to
+	// CellGroup.Size().
+	ValidCells []int
+
 	Iterations      int     // extract/allocate/loss iterations performed
 	MinAdjVariation float64 // the accepted min-adjacent variation
+}
+
+// GroupValidCells returns the number of valid source cells in group gi.
+func (rp *Repartitioned) GroupValidCells(gi int) int {
+	if rp.ValidCells != nil {
+		return rp.ValidCells[gi]
+	}
+	cg := rp.Partition.Groups[gi]
+	if cg.Null {
+		return 0
+	}
+	return cg.Size()
 }
 
 // NumGroups returns the number of cell-groups (null groups included).
@@ -68,11 +94,19 @@ func (rp *Repartitioned) ValidGroups() int {
 var ErrThreshold = errors.New("core: information-loss threshold must lie in [0, 1]")
 
 // Repartition runs the full framework of §III-A: it normalizes the input,
-// pre-computes the min-adjacent-variation ladder once, and then iterates
-// extract → allocate → information-loss, climbing the ladder until the next
-// step would push IFL beyond the threshold. The returned dataset is the
-// coarsest one whose IFL ≤ θ (the identity partition, with IFL 0, if even
-// the first merge overshoots).
+// pre-computes the adjacent-pair variation field (and from it the
+// min-adjacent-variation ladder) once, and then iterates extract → allocate
+// → information-loss, climbing the ladder until the next step would push IFL
+// beyond the threshold. The returned dataset is the coarsest one whose
+// IFL ≤ θ (the identity partition, with IFL 0, if even the first merge
+// overshoots).
+//
+// With Options.Workers > 1 the ladder climb evaluates speculative rung
+// batches concurrently; each rung evaluation is pure given the field, and
+// passing rungs are promoted in the exact order the sequential loop would
+// have visited them, so the result — including Iterations, which counts only
+// the evaluations the sequential loop would have performed — is
+// byte-identical to the Workers = 1 path.
 func Repartition(g *grid.Grid, opts Options) (*Repartitioned, error) {
 	if opts.Threshold < 0 || opts.Threshold > 1 {
 		return nil, fmt.Errorf("%w: got %v", ErrThreshold, opts.Threshold)
@@ -80,8 +114,13 @@ func Repartition(g *grid.Grid, opts Options) (*Repartitioned, error) {
 	if err := grid.ValidateAttrs(g.Attrs); err != nil {
 		return nil, err
 	}
+	workers := resolveWorkers(opts.Workers)
+	if opts.MaxIterations > 0 {
+		workers = 1 // a finite budget replays the sequential cut-off exactly
+	}
 	norm, _ := g.Normalized()
-	ladder := BuildLadder(norm)
+	field := BuildFieldParallel(norm, workers)
+	ladder := field.Ladder()
 
 	best := &Repartitioned{
 		Source:          g,
@@ -96,52 +135,67 @@ func Repartition(g *grid.Grid, opts Options) (*Repartitioned, error) {
 	}
 	iters := 0
 
-	// tryRung evaluates ladder rung i and promotes it to best when its IFL
-	// stays within the threshold.
-	tryRung := func(i int) (ok bool) {
-		iters++
-		minVar := ladder.Rung(i)
-		part := Extract(norm, minVar)
+	// eval evaluates one ladder rung: pure given the field, so rungs can be
+	// evaluated speculatively and concurrently.
+	eval := func(i int) rungResult {
+		part := ExtractField(field, ladder.Rung(i))
 		feats := AllocateFeatures(g, part)
 		loss := IFL(g, part, feats)
-		if loss <= opts.Threshold {
-			best = &Repartitioned{
-				Source:          g,
-				Partition:       part,
-				Features:        feats,
-				IFL:             loss,
-				MinAdjVariation: minVar,
-			}
-			return true
+		return rungResult{rung: i, part: part, feats: feats, loss: loss, ok: loss <= opts.Threshold}
+	}
+	// promote installs a passing rung as the new best. Callers invoke it in
+	// ascending sequential-visit order, so the final best is the same rung
+	// the sequential loop accepts.
+	promote := func(rr rungResult) {
+		best = &Repartitioned{
+			Source:          g,
+			Partition:       rr.part,
+			Features:        rr.feats,
+			IFL:             rr.loss,
+			MinAdjVariation: ladder.Rung(rr.rung),
 		}
-		return false
 	}
 
 	switch opts.Schedule {
 	case ScheduleExact:
-		for i := 0; i < ladder.Len() && iters < iterBudget; i++ {
-			if !tryRung(i) {
-				break
+		if workers > 1 {
+			iters = exactParallel(eval, promote, ladder.Len(), workers)
+		} else {
+			for i := 0; i < ladder.Len() && iters < iterBudget; i++ {
+				iters++
+				rr := eval(i)
+				if !rr.ok {
+					break
+				}
+				promote(rr)
 			}
 		}
 	case ScheduleGeometric:
-		// Exponential search for the frontier, then bisection.
-		lastGood, firstBad := -1, ladder.Len()
-		for step := 1; lastGood+step < ladder.Len() && iters < iterBudget; step *= 2 {
-			i := lastGood + step
-			if tryRung(i) {
-				lastGood = i
-			} else {
-				firstBad = i
-				break
+		if workers > 1 {
+			iters = geometricParallel(eval, promote, ladder.Len(), workers)
+		} else {
+			// Exponential search for the frontier, then bisection.
+			lastGood, firstBad := -1, ladder.Len()
+			for step := 1; lastGood+step < ladder.Len() && iters < iterBudget; step *= 2 {
+				i := lastGood + step
+				iters++
+				if rr := eval(i); rr.ok {
+					promote(rr)
+					lastGood = i
+				} else {
+					firstBad = i
+					break
+				}
 			}
-		}
-		for lo, hi := lastGood+1, firstBad-1; lo <= hi && iters < iterBudget; {
-			mid := (lo + hi) / 2
-			if tryRung(mid) {
-				lo = mid + 1
-			} else {
-				hi = mid - 1
+			for lo, hi := lastGood+1, firstBad-1; lo <= hi && iters < iterBudget; {
+				mid := (lo + hi) / 2
+				iters++
+				if rr := eval(mid); rr.ok {
+					promote(rr)
+					lo = mid + 1
+				} else {
+					hi = mid - 1
+				}
 			}
 		}
 	default:
@@ -150,4 +204,88 @@ func Repartition(g *grid.Grid, opts Options) (*Repartitioned, error) {
 
 	best.Iterations = iters
 	return best, nil
+}
+
+// exactParallel climbs the ladder rung by rung like the sequential
+// ScheduleExact loop, evaluating speculative batches of `workers` rungs at a
+// time. Results are scanned in rung order, so promotion order, the stopping
+// rung, and the returned iteration count all match the sequential loop;
+// batch entries past the first failure are discarded speculation.
+func exactParallel(eval func(int) rungResult, promote func(rungResult), n, workers int) int {
+	iters := 0
+	for start := 0; start < n; start += workers {
+		end := start + workers
+		if end > n {
+			end = n
+		}
+		rungs := make([]int, 0, end-start)
+		for i := start; i < end; i++ {
+			rungs = append(rungs, i)
+		}
+		for _, rr := range evalRungs(eval, rungs, workers) {
+			iters++
+			if !rr.ok {
+				return iters
+			}
+			promote(rr)
+		}
+	}
+	return iters
+}
+
+// geometricParallel mirrors the sequential ScheduleGeometric search with
+// speculative batches. The exponential probe sequence is predetermined while
+// probes keep passing, so whole batches of probes run concurrently; the
+// bisection phase evaluates the next few levels of the binary-search
+// decision tree per batch (speculativeMids) and then replays the sequential
+// walk against the collected results. Promotions happen in the sequential
+// visit order, so the outcome is byte-identical to Workers = 1.
+func geometricParallel(eval func(int) rungResult, promote func(rungResult), n, workers int) int {
+	iters := 0
+	var probes []int
+	for lg, step := -1, 1; lg+step < n; step *= 2 {
+		probes = append(probes, lg+step)
+		lg += step
+	}
+	lastGood, firstBad := -1, n
+	failed := false
+	for start := 0; start < len(probes) && !failed; start += workers {
+		end := start + workers
+		if end > len(probes) {
+			end = len(probes)
+		}
+		for _, rr := range evalRungs(eval, probes[start:end], workers) {
+			iters++
+			if rr.ok {
+				promote(rr)
+				lastGood = rr.rung
+			} else {
+				firstBad = rr.rung
+				failed = true
+				break
+			}
+		}
+	}
+	for lo, hi := lastGood+1, firstBad-1; lo <= hi; {
+		mids := speculativeMids(lo, hi, workers)
+		res := make(map[int]rungResult, len(mids))
+		for _, rr := range evalRungs(eval, mids, workers) {
+			res[rr.rung] = rr
+		}
+		for lo <= hi {
+			mid := (lo + hi) / 2
+			rr, have := res[mid]
+			if !have {
+				break // narrowed past this batch's speculation: refill
+			}
+			iters++
+			if rr.ok {
+				promote(rr)
+				lo = mid + 1
+			} else {
+				hi = mid - 1
+			}
+		}
+	}
+	return iters
 }

@@ -7,17 +7,20 @@
 package core
 
 import (
-	"container/heap"
 	"math"
 
 	"spatialrepart/internal/grid"
 )
 
 // Variation returns the attribute variation between two numeric feature
-// vectors (Eq. 1): the mean absolute per-attribute difference. Both vectors
-// must have the same length; the caller normalizes attributes first so that
-// wide-range attributes do not dominate.
+// vectors (Eq. 1): the mean absolute per-attribute difference. The caller
+// normalizes attributes first so that wide-range attributes do not dominate.
+// Vectors of different lengths describe incomparable schemas and return
+// +Inf (maximally dissimilar) instead of panicking.
 func Variation(a, b []float64) float64 {
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
 	var s float64
 	for k, av := range a {
 		s += math.Abs(av - b[k])
@@ -32,7 +35,12 @@ func Variation(a, b []float64) float64 {
 // categorical-attributes extension): a categorical dimension contributes a
 // 0/1 mismatch indicator instead of a numeric difference, so two cells merge
 // only when their categories agree (or the mismatch budget allows it).
+// Mismatched vector lengths — or an attribute schema shorter than the
+// vectors — return +Inf, mirroring Variation's guard.
 func VariationAttrs(attrs []grid.Attribute, a, b []float64) float64 {
+	if len(a) != len(b) || len(attrs) < len(a) {
+		return math.Inf(1)
+	}
 	if len(a) == 0 {
 		return 0
 	}
@@ -64,22 +72,6 @@ func cellVariation(g *grid.Grid, r1, c1, r2, c2 int) float64 {
 	return VariationAttrs(g.Attrs, g.Vector(r1, c1), g.Vector(r2, c2))
 }
 
-// variationHeap is the min-adjacent-variation heap of §III-A1 (a plain
-// container/heap min-heap over float64).
-type variationHeap []float64
-
-func (h variationHeap) Len() int            { return len(h) }
-func (h variationHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h variationHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *variationHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
-func (h *variationHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
 // VariationLadder is the sequence of distinct min-adjacent-variation values,
 // in increasing order. The re-partitioning driver pops one rung per iteration
 // (or several under a geometric schedule); each rung is the
@@ -89,37 +81,15 @@ type VariationLadder struct {
 	values []float64
 }
 
-// BuildLadder pre-computes the variation between every pair of 4-adjacent
-// cells of the normalized grid, pushes them onto a min-heap, and drains the
-// heap into the distinct ascending ladder. Pairs involving exactly one null
-// cell have infinite variation and are excluded (they can never merge).
+// BuildLadder computes the variation between every pair of 4-adjacent cells
+// of the normalized grid and returns the distinct ascending ladder. Pairs
+// involving exactly one null cell have infinite variation and are excluded
+// (they can never merge). Implemented as a sort-and-dedupe over the dense
+// VariationField (the §III-A1 min-heap produced the same sequence with far
+// more allocation); callers that also need per-pair lookups should call
+// BuildField once and use VariationField.Ladder.
 func BuildLadder(norm *grid.Grid) *VariationLadder {
-	h := make(variationHeap, 0, 2*norm.Rows*norm.Cols)
-	for r := 0; r < norm.Rows; r++ {
-		for c := 0; c < norm.Cols; c++ {
-			if c+1 < norm.Cols {
-				if v := cellVariation(norm, r, c, r, c+1); !math.IsInf(v, 1) {
-					h = append(h, v)
-				}
-			}
-			if r+1 < norm.Rows {
-				if v := cellVariation(norm, r, c, r+1, c); !math.IsInf(v, 1) {
-					h = append(h, v)
-				}
-			}
-		}
-	}
-	heap.Init(&h)
-	values := make([]float64, 0, len(h))
-	prev := math.Inf(-1)
-	for h.Len() > 0 {
-		v := heap.Pop(&h).(float64)
-		if v > prev {
-			values = append(values, v)
-			prev = v
-		}
-	}
-	return &VariationLadder{values: values}
+	return BuildField(norm).Ladder()
 }
 
 // Len returns the number of distinct rungs.

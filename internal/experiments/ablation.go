@@ -40,7 +40,7 @@ func AllocationAblation(cfg Config) ([]AllocationAblationRow, error) {
 	var rows []AllocationAblationRow
 	for _, d := range cfg.AllDatasets(cfg.ModelSize) {
 		for _, theta := range cfg.Thresholds {
-			rp, err := core.Repartition(d.Grid, core.Options{Threshold: theta, Schedule: core.ScheduleGeometric})
+			rp, err := core.Repartition(d.Grid, core.Options{Threshold: theta, Schedule: core.ScheduleGeometric, Workers: cfg.Workers})
 			if err != nil {
 				return nil, err
 			}
@@ -78,7 +78,8 @@ func ExtractorAblation(cfg Config) ([]ExtractorAblationRow, error) {
 	var rows []ExtractorAblationRow
 	for _, d := range cfg.AllDatasets(cfg.ModelSize) {
 		norm, _ := d.Grid.Normalized()
-		ladder := core.BuildLadder(norm)
+		field := core.BuildFieldParallel(norm, cfg.Workers)
+		ladder := field.Ladder()
 		for _, theta := range cfg.Thresholds {
 			row := ExtractorAblationRow{Dataset: d.Name, Threshold: theta}
 			for _, ex := range []struct {
@@ -86,7 +87,7 @@ func ExtractorAblation(cfg Config) ([]ExtractorAblationRow, error) {
 				groups  *int
 				ifl     *float64
 			}{
-				{func(v float64) *core.Partition { return core.Extract(norm, v) }, &row.GreedyGroups, &row.GreedyIFL},
+				{func(v float64) *core.Partition { return core.ExtractField(field, v) }, &row.GreedyGroups, &row.GreedyIFL},
 				{func(v float64) *core.Partition { return core.QuadtreeExtract(norm, v) }, &row.QuadtreeGroups, &row.QuadtreeIFL},
 			} {
 				groups, ifl := coarsestWithin(d.Grid, ladder, theta, ex.extract)
@@ -162,7 +163,7 @@ func ScheduleAblation(cfg Config) ([]AblationRow, error) {
 				{"geometric", core.ScheduleGeometric},
 			} {
 				start := time.Now()
-				rp, err := core.Repartition(d.Grid, core.Options{Threshold: theta, Schedule: s.schedule})
+				rp, err := core.Repartition(d.Grid, core.Options{Threshold: theta, Schedule: s.schedule, Workers: cfg.Workers})
 				if err != nil {
 					return nil, err
 				}

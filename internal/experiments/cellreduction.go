@@ -30,7 +30,7 @@ func CellReduction(cfg Config) ([]CellReductionRow, error) {
 	for _, size := range cfg.Sizes {
 		for _, d := range cfg.AllDatasets(size) {
 			for _, theta := range cfg.Thresholds {
-				red, rp, err := PrepareRepartitioning(d, theta)
+				red, rp, err := PrepareRepartitioning(d, theta, cfg.Workers)
 				if err != nil {
 					return nil, err
 				}

@@ -45,6 +45,11 @@ type Config struct {
 	// different 80/20 splits (0 = 1). Training time/memory always come from
 	// the first split.
 	Repeats int
+	// Workers bounds the goroutines each re-partitioning call may use
+	// (0 = GOMAXPROCS, 1 = sequential); forwarded to core.Options.Workers.
+	// Results are byte-identical across settings — this only trades wall
+	// clock for cores.
+	Workers int
 }
 
 // DefaultConfig returns the laptop-scale configuration. Set the environment

@@ -76,7 +76,7 @@ func (l *lab) repartition(name string, theta float64) (*Reduction, error) {
 	if err != nil {
 		return nil, err
 	}
-	r, rp, err := PrepareRepartitioning(d, theta)
+	r, rp, err := PrepareRepartitioning(d, theta, l.cfg.Workers)
 	if err != nil {
 		return nil, err
 	}

@@ -67,10 +67,12 @@ func PrepareOriginal(d *datagen.Dataset) (*Reduction, error) {
 
 // PrepareRepartitioning runs the framework at threshold θ and converts the
 // result to a Reduction. It returns the Repartitioned as well so callers can
-// reuse the partition count for the baselines.
-func PrepareRepartitioning(d *datagen.Dataset, theta float64) (*Reduction, *core.Repartitioned, error) {
+// reuse the partition count for the baselines. workers bounds the goroutines
+// of the ladder search (0 = GOMAXPROCS); the result is identical for every
+// setting.
+func PrepareRepartitioning(d *datagen.Dataset, theta float64, workers int) (*Reduction, *core.Repartitioned, error) {
 	start := time.Now()
-	rp, err := core.Repartition(d.Grid, core.Options{Threshold: theta, Schedule: core.ScheduleGeometric})
+	rp, err := core.Repartition(d.Grid, core.Options{Threshold: theta, Schedule: core.ScheduleGeometric, Workers: workers})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -46,7 +46,7 @@ func Table5(cfg Config) ([]HomogeneousRow, error) {
 				row.MergeBoth = rp.IFL
 			}
 		}
-		rp, err := core.Repartition(d.Grid, core.Options{Threshold: theta, Schedule: core.ScheduleGeometric})
+		rp, err := core.Repartition(d.Grid, core.Options{Threshold: theta, Schedule: core.ScheduleGeometric, Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}

@@ -27,6 +27,9 @@ type Options struct {
 	MinRecordsBetweenChecks int
 	// Schedule for full recomputations (default geometric).
 	Schedule core.Schedule
+	// Workers bounds the goroutines used by refreshes and full recomputes
+	// (0 = GOMAXPROCS); passed through to core.Options.Workers.
+	Workers int
 }
 
 // Stats reports the stream's bookkeeping counters.
@@ -38,9 +41,11 @@ type Stats struct {
 }
 
 // Repartitioner maintains a re-partitioned view over a streaming grid. It is
-// safe for concurrent use.
+// safe for concurrent use: Add only ever takes the (cheap) aggregate lock,
+// while the expensive refresh/recompute work in Current runs on a snapshot
+// OUTSIDE that lock, so ingestion is never stalled behind a re-partitioning.
 type Repartitioner struct {
-	mu     sync.Mutex
+	mu     sync.Mutex // guards aggregates, current, sinceLastCheck, stats
 	bounds grid.Bounds
 	rows   int
 	cols   int
@@ -53,8 +58,20 @@ type Repartitioner struct {
 	catCol []int
 
 	current        *core.Repartitioned
+	generation     int // bumped on every refresh/recompute swap-in
 	sinceLastCheck int
 	stats          Stats
+
+	// computeMu serializes the out-of-lock refresh/recompute work so
+	// concurrent Current calls do not duplicate a full re-partitioning.
+	// It is always acquired WITHOUT mu held.
+	computeMu sync.Mutex
+
+	// beforeCompute, when non-nil, runs after the aggregates are snapshotted
+	// and all locks on the ingestion path are released, right before the
+	// expensive computation. Test hook: lets tests assert Add is not blocked
+	// mid-recompute.
+	beforeCompute func()
 }
 
 // New creates a streaming repartitioner over the given grid geometry.
@@ -153,36 +170,84 @@ func (s *Repartitioner) snapshotGrid() *grid.Grid {
 // freshest aggregates is within the threshold. It retains the previous
 // partition when a feature-only refresh suffices, and re-partitions from
 // scratch otherwise.
+//
+// The aggregate lock is held only long enough to snapshot the aggregates and
+// to swap the finished result in: concurrent Add calls keep ingesting while
+// the refresh or recompute runs. Concurrent Current calls are serialized on
+// a separate lock so a recompute is never duplicated; a caller that queued
+// behind another goroutine's recompute serves that (fresher) result instead
+// of starting its own.
 func (s *Repartitioner) Current() (*core.Repartitioned, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.current != nil && s.sinceLastCheck < s.opts.MinRecordsBetweenChecks {
-		return s.current, nil
+		cur := s.current
+		s.mu.Unlock()
+		return cur, nil
+	}
+	gen := s.generation
+	s.mu.Unlock()
+
+	s.computeMu.Lock()
+	defer s.computeMu.Unlock()
+
+	// Snapshot under the aggregate lock; everything expensive runs outside.
+	s.mu.Lock()
+	if s.generation != gen && s.current != nil {
+		// Another goroutine swapped a view in while we waited: it was
+		// computed from aggregates at least as fresh as our call.
+		cur := s.current
+		s.mu.Unlock()
+		return cur, nil
 	}
 	g := s.snapshotGrid()
-	if s.current != nil && compatiblePartition(g, s.current.Partition) {
-		feats := core.AllocateFeatures(g, s.current.Partition)
-		if ifl := core.IFL(g, s.current.Partition, feats); ifl <= s.opts.Threshold {
-			s.current = &core.Repartitioned{
+	cur := s.current
+	snapshotted := s.sinceLastCheck
+	s.mu.Unlock()
+
+	if s.beforeCompute != nil {
+		s.beforeCompute()
+	}
+
+	if cur != nil && compatiblePartition(g, cur.Partition) {
+		feats := core.AllocateFeaturesParallel(g, cur.Partition, s.opts.Workers)
+		if ifl := core.IFLParallel(g, cur.Partition, feats, s.opts.Workers); ifl <= s.opts.Threshold {
+			rp := &core.Repartitioned{
 				Source:          g,
-				Partition:       s.current.Partition,
+				Partition:       cur.Partition,
 				Features:        feats,
 				IFL:             ifl,
-				MinAdjVariation: s.current.MinAdjVariation,
+				MinAdjVariation: cur.MinAdjVariation,
 			}
-			s.stats.Refreshes++
-			s.sinceLastCheck = 0
-			return s.current, nil
+			s.install(rp, snapshotted, false)
+			return rp, nil
 		}
 	}
-	rp, err := core.Repartition(g, core.Options{Threshold: s.opts.Threshold, Schedule: s.opts.Schedule})
+	rp, err := core.Repartition(g, core.Options{
+		Threshold: s.opts.Threshold,
+		Schedule:  s.opts.Schedule,
+		Workers:   s.opts.Workers,
+	})
 	if err != nil {
 		return nil, err
 	}
+	s.install(rp, snapshotted, true)
+	return rp, nil
+}
+
+// install swaps a freshly computed view in under the aggregate lock. Records
+// that arrived while the computation ran are not reflected in the snapshot,
+// so only the snapshotted portion of the staleness counter is consumed.
+func (s *Repartitioner) install(rp *core.Repartitioned, snapshotted int, recompute bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.current = rp
-	s.stats.Recomputes++
-	s.sinceLastCheck = 0
-	return s.current, nil
+	s.generation++
+	s.sinceLastCheck -= snapshotted
+	if recompute {
+		s.stats.Recomputes++
+	} else {
+		s.stats.Refreshes++
+	}
 }
 
 // compatiblePartition reports whether the old partition's null structure

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"spatialrepart/internal/grid"
 )
@@ -236,6 +237,86 @@ func TestStreamCategoricalAttribute(t *testing.T) {
 	}
 	if _, err := s.Current(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestAddNotBlockedDuringRecompute is the regression test for the lock-split
+// Current: ingestion must proceed while a refresh/recompute is in flight.
+// The beforeCompute hook fires on the Current goroutine after the aggregates
+// are snapshotted and all ingestion-path locks are released; an Add issued
+// there must complete immediately. (Under the old implementation — s.mu held
+// across the whole recompute — the Add blocks until the timeout.)
+func TestAddNotBlockedDuringRecompute(t *testing.T) {
+	s, err := New(testBounds(), 12, 12, testAttrs(), Options{Threshold: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 400; i++ {
+		lat, lon := rng.Float64()*10, rng.Float64()*10
+		if err := s.Add(grid.Record{Lat: lat, Lon: lon, Values: []float64{1, rng.Float64() * 100}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hookRan := false
+	s.beforeCompute = func() {
+		hookRan = true
+		done := make(chan error, 1)
+		go func() {
+			done <- s.Add(grid.Record{Lat: 5, Lon: 5, Values: []float64{1, 42}})
+		}()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("Add during recompute: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Error("Add blocked while a recompute was in flight")
+		}
+	}
+	if _, err := s.Current(); err != nil {
+		t.Fatal(err)
+	}
+	if !hookRan {
+		t.Fatal("beforeCompute hook never fired")
+	}
+	// The record ingested mid-recompute must be in the aggregates.
+	if st := s.Stats(); st.Accepted != 401 {
+		t.Errorf("accepted = %d, want 401 (mid-recompute record counted)", st.Accepted)
+	}
+}
+
+// TestConcurrentCurrentSingleRecompute: two simultaneous Current calls on a
+// stale repartitioner must not both pay for a full re-partitioning — the
+// second serves the first one's (fresher) result.
+func TestConcurrentCurrentSingleRecompute(t *testing.T) {
+	// MinRecordsBetweenChecks 1 keeps a goroutine that starts after the
+	// winning recompute finished on the cached-view fast path, so exactly
+	// one computation happens no matter how the four interleave.
+	s, err := New(testBounds(), 10, 10, testAttrs(), Options{Threshold: 0.1, MinRecordsBetweenChecks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 300; i++ {
+		lat, lon := rng.Float64()*10, rng.Float64()*10
+		if err := s.Add(grid.Record{Lat: lat, Lon: lon, Values: []float64{1, 10 + lat}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Current(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Recomputes+st.Refreshes != 1 {
+		t.Errorf("recomputes+refreshes = %d, want 1 (no duplicated work)", st.Recomputes+st.Refreshes)
 	}
 }
 

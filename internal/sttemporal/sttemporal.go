@@ -146,7 +146,8 @@ func spatialPhase(c *Cube, budget float64) (*core.Partition, float64, error) {
 		return nil, 0, err
 	}
 	norm, _ := mean.Normalized()
-	ladder := core.BuildLadder(norm)
+	field := core.BuildField(norm)
+	ladder := field.Ladder()
 
 	worstSliceIFL := func(part *core.Partition) float64 {
 		worst := 0.0
@@ -167,7 +168,7 @@ func spatialPhase(c *Cube, budget float64) (*core.Partition, float64, error) {
 		return best, bestIFL, nil
 	}
 	tryRung := func(i int) bool {
-		part := core.Extract(norm, ladder.Rung(i))
+		part := core.ExtractField(field, ladder.Rung(i))
 		if ifl := worstSliceIFL(part); ifl <= budget {
 			best, bestIFL = part, ifl
 			return true
