@@ -12,9 +12,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"spatialrepart/internal/datagen"
+	"spatialrepart/internal/obs"
 )
 
 var names = []string{"taxi-multi", "homesales", "earnings-multi", "taxi-uni", "vehicles-uni", "earnings-uni", "landuse"}
@@ -26,14 +28,21 @@ func main() {
 	seed := flag.Int64("seed", 42, "generator seed")
 	out := flag.String("out", "", "output CSV path (default stdout)")
 	list := flag.Bool("list", false, "list available datasets and exit")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
 
+	if *version {
+		fmt.Println("datagen", obs.Version())
+		return
+	}
 	if *list {
 		for _, n := range names {
 			fmt.Println(n)
 		}
 		return
 	}
+	slog.New(slog.NewTextHandler(os.Stderr, nil)).Info("datagen starting",
+		"version", obs.Version(), "dataset", *name, "rows", *rows, "cols", *cols, "seed", *seed)
 	if err := run(*name, *rows, *cols, *seed, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)

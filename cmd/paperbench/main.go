@@ -23,10 +23,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 
 	"spatialrepart/internal/experiments"
+	"spatialrepart/internal/obs"
 )
 
 func main() {
@@ -34,13 +36,44 @@ func main() {
 	seed := flag.Int64("seed", 0, "override the dataset seed (0 keeps the default)")
 	csvDir := flag.String("csv", "", "also write each experiment's rows as CSV into this directory")
 	workers := flag.Int("workers", 0, "goroutines per re-partitioning call (0 = all cores, 1 = sequential; results are identical either way)")
+	reportOut := flag.String("report", "", "write a JSON summary of every re-partitioning the experiments performed")
+	benchOut := flag.String("bench", "", "run only the instrumented repartition benchmark and write its JSON to this path (e.g. BENCH_repartition.json)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("paperbench", obs.Version())
+		return
+	}
 
 	cfg := experiments.DefaultConfig()
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
 	cfg.Workers = *workers
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	logger.Info("paperbench starting", "version", obs.Version(), "exp", *exp,
+		"seed", cfg.Seed, "workers", cfg.Workers, "scale", os.Getenv("REPRO_SCALE"),
+		"model_size", cfg.ModelSize.Name, "thresholds", fmt.Sprint(cfg.Thresholds))
+
+	if *metricsAddr != "" {
+		_, addr, err := obs.Serve(*metricsAddr, benchRegistry)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		logger.Info("metrics endpoint up", "addr", addr)
+	}
+	if *benchOut != "" {
+		if err := runBench(*benchOut, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		logger.Info("benchmark report written", "path", *benchOut)
+		return
+	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)
@@ -48,9 +81,28 @@ func main() {
 		}
 		csvOut = *csvDir
 	}
+	if *reportOut != "" {
+		cfg.Collector = &experiments.Collector{}
+	}
 	if err := run(*exp, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
 		os.Exit(1)
+	}
+	if *reportOut != "" {
+		f, err := os.Create(*reportOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		err = cfg.Collector.WriteJSON(f, cfg)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		logger.Info("run report written", "path", *reportOut)
 	}
 }
 

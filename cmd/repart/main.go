@@ -11,18 +11,22 @@
 //	       [-groups groups.csv] [-adjacency adj.csv] \
 //	       [-partition partition.json] \
 //	       [-geojson groups.geojson -bounds minLat,maxLat,minLon,maxLon] \
-//	       [-schedule exact|geometric] [-render] [-stats]
+//	       [-schedule exact|geometric] [-workers n] [-render] [-stats] \
+//	       [-report run.json] [-metrics-addr :8080] [-version]
 package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
 
 	"spatialrepart"
+	"spatialrepart/internal/obs"
 	"spatialrepart/internal/render"
 )
 
@@ -33,18 +37,42 @@ func main() {
 	adjOut := flag.String("adjacency", "", "output CSV for the group adjacency list")
 	geoOut := flag.String("geojson", "", "output GeoJSON FeatureCollection of the cell-groups")
 	partOut := flag.String("partition", "", "output JSON with the full partition + features (loadable via ReadRepartitionJSON)")
+	reportOut := flag.String("report", "", "output JSON with the instrumented run report (per-phase timings, IFL trajectory)")
 	threshold := flag.Float64("threshold", 0.05, "information-loss threshold θ ∈ [0,1]")
 	schedule := flag.String("schedule", "geometric", "iteration schedule: exact|geometric")
+	workers := flag.Int("workers", 0, "goroutines for the ladder search (0 = all cores, 1 = sequential; results are identical)")
 	stats := flag.Bool("stats", true, "print summary statistics to stderr")
 	doRender := flag.Bool("render", false, "print an ASCII rendering of the partition to stdout")
 	bbox := flag.String("bounds", "0,1,0,1", "geographic bounds for -geojson as minLat,maxLat,minLon,maxLon")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
 
-	if err := run(runConfig{
+	if *version {
+		fmt.Println("repart", obs.Version())
+		return
+	}
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	logger.Info("repart starting", "version", obs.Version(),
+		"in", *in, "threshold", *threshold, "schedule", *schedule, "workers", *workers)
+
+	cfg := runConfig{
 		in: *in, out: *out, groupsOut: *groupsOut, adjOut: *adjOut, geoOut: *geoOut,
-		partOut: *partOut, threshold: *threshold, schedule: *schedule, stats: *stats,
+		partOut: *partOut, reportOut: *reportOut, threshold: *threshold,
+		schedule: *schedule, workers: *workers, stats: *stats,
 		render: *doRender, bbox: *bbox,
-	}); err != nil {
+	}
+	if *metricsAddr != "" {
+		cfg.obsv = spatialrepart.NewObserver()
+		_, addr, err := obs.Serve(*metricsAddr, cfg.obsv.Registry())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repart:", err)
+			os.Exit(1)
+		}
+		logger.Info("metrics endpoint up", "addr", addr)
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "repart:", err)
 		os.Exit(1)
 	}
@@ -53,10 +81,15 @@ func main() {
 // runConfig carries the parsed flags.
 type runConfig struct {
 	in, out, groupsOut, adjOut, geoOut, partOut string
+	reportOut                                   string
 	threshold                                   float64
 	schedule                                    string
+	workers                                     int
 	stats, render                               bool
 	bbox                                        string
+	// obsv, when non-nil, receives the run's metrics (shared with the
+	// -metrics-addr endpoint).
+	obsv *spatialrepart.Observer
 }
 
 func run(cfg runConfig) error {
@@ -75,7 +108,7 @@ func run(cfg runConfig) error {
 		return err
 	}
 
-	opts := spatialrepart.Options{Threshold: threshold}
+	opts := spatialrepart.Options{Threshold: threshold, Workers: cfg.workers, Obs: cfg.obsv}
 	switch schedule {
 	case "exact":
 		opts.Schedule = spatialrepart.ScheduleExact
@@ -85,9 +118,28 @@ func run(cfg runConfig) error {
 		return fmt.Errorf("unknown schedule %q", schedule)
 	}
 
-	rp, err := spatialrepart.Repartition(g, opts)
-	if err != nil {
-		return err
+	var rp *spatialrepart.Repartitioned
+	if cfg.reportOut != "" {
+		var report *spatialrepart.RunReport
+		rp, report, err = spatialrepart.RepartitionWithReport(g, opts)
+		if err != nil {
+			return err
+		}
+		rf, err := os.Create(cfg.reportOut)
+		if err != nil {
+			return err
+		}
+		defer rf.Close()
+		enc := json.NewEncoder(rf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			return fmt.Errorf("writing run report: %w", err)
+		}
+	} else {
+		rp, err = spatialrepart.Repartition(g, opts)
+		if err != nil {
+			return err
+		}
 	}
 	if stats {
 		fmt.Fprintf(os.Stderr, "input: %s\n", g)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -134,6 +135,46 @@ func TestParseBounds(t *testing.T) {
 	}
 	if _, err := parseBounds("a,b,c,d"); err == nil {
 		t.Error("want parse error")
+	}
+}
+
+func TestRunReportAndObserver(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTestGrid(t, dir)
+	report := filepath.Join(dir, "run.json")
+	outObs := filepath.Join(dir, "out_obs.csv")
+	if err := run(runConfig{
+		in: in, out: outObs, reportOut: report, threshold: 0.1,
+		schedule: "geometric", workers: 2, obsv: spatialrepart.NewObserver(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var rr spatialrepart.RunReport
+	b, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &rr); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if rr.TotalNS <= 0 || rr.Evaluations == 0 || len(rr.Phases) == 0 {
+		t.Errorf("report not populated: %+v", rr)
+	}
+	// The instrumented run writes the same reduced grid as a plain one.
+	outPlain := filepath.Join(dir, "out_plain.csv")
+	if err := run(runConfig{in: in, out: outPlain, threshold: 0.1, schedule: "geometric"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(outObs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(outPlain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Error("instrumented run wrote a different reduced grid")
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"spatialrepart/internal/grid"
+	"spatialrepart/internal/obs"
 )
 
 // AllocateFeatures implements Algorithm 2: it computes the feature vector of
@@ -139,4 +140,15 @@ func mode(vals []float64) float64 {
 		}
 	}
 	return best
+}
+
+// allocateFeaturesObs is AllocateFeatures under observation: it times the
+// Algorithm 2 pass (span "rung.allocate") and counts calls. The feature
+// vectors returned are exactly AllocateFeatures' — observation only reads.
+func allocateFeaturesObs(o *obs.Observer, orig *grid.Grid, part *Partition) [][]float64 {
+	sp := o.StartSpan("rung.allocate")
+	feats := AllocateFeatures(orig, part)
+	sp.End()
+	o.Count("allocate.calls", 1)
+	return feats
 }

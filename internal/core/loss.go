@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"spatialrepart/internal/grid"
+	"spatialrepart/internal/obs"
 )
 
 // Representative returns the value attribute k of the re-partitioned dataset
@@ -96,4 +97,15 @@ func iflRows(orig *grid.Grid, part *Partition, feats [][]float64, spans []float6
 		}
 	}
 	return sum, valid
+}
+
+// iflObs is IFL under observation: it times the Eq. 3 sweep (span
+// "rung.loss") and counts evaluations. The loss returned is exactly IFL's —
+// observation only reads it.
+func iflObs(o *obs.Observer, orig *grid.Grid, part *Partition, feats [][]float64) float64 {
+	sp := o.StartSpan("rung.loss")
+	loss := IFL(orig, part, feats)
+	sp.End()
+	o.Count("loss.evaluations", 1)
+	return loss
 }

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"spatialrepart/internal/grid"
+	"spatialrepart/internal/obs"
 )
 
 // resolveWorkers maps the Options.Workers convention (0 = all cores) to a
@@ -174,6 +175,22 @@ func evalRungs(eval func(int) rungResult, rungs []int, workers int) []rungResult
 		}(i, rg)
 	}
 	wg.Wait()
+	return out
+}
+
+// evalRungsObs is evalRungs plus batch-level observation: it times each
+// speculative batch (span "parallel.batch") and counts batches and the rungs
+// they carry. Individual rung evaluations are timed inside eval itself, so
+// batch wall time vs summed rung time exposes worker utilization.
+func evalRungsObs(o *obs.Observer, eval func(int) rungResult, rungs []int, workers int) []rungResult {
+	if o == nil {
+		return evalRungs(eval, rungs, workers)
+	}
+	sp := o.StartSpan("parallel.batch")
+	out := evalRungs(eval, rungs, workers)
+	sp.End()
+	o.Count("parallel.batches", 1)
+	o.Count("parallel.batch_rungs", int64(len(rungs)))
 	return out
 }
 

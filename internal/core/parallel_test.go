@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"spatialrepart/internal/grid"
+	"spatialrepart/internal/obs"
 )
 
 // equalRepartitioned compares every caller-visible field of two results.
@@ -249,5 +250,104 @@ func TestMaxIterationsForcesSequentialCutoff(t *testing.T) {
 				t.Errorf("iterations %d exceed budget %d", a.Iterations, budget)
 			}
 		}
+	}
+}
+
+// TestRepartitionObserverByteIdentical extends the worker-invariance
+// property to instrumented runs (ISSUE 2 acceptance): with an active
+// observer attached — and with the full report machinery running — the
+// returned partition, features, IFL, accepted rung, and iteration count must
+// be byte-identical to the bare uninstrumented result for workers ∈
+// {1, 4, all}.
+func TestRepartitionObserverByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	schedules := []Schedule{ScheduleExact, ScheduleGeometric}
+	thresholds := []float64{0, 0.05, 0.2, 1}
+	for trial := 0; trial < 12; trial++ {
+		g := randomMultiGrid(rng)
+		for _, sched := range schedules {
+			for _, th := range thresholds {
+				bare, err := Repartition(g, Options{Threshold: th, Schedule: sched, Workers: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, w := range []int{1, 4, 0} {
+					o := obs.New()
+					observed, err := Repartition(g, Options{Threshold: th, Schedule: sched, Workers: w, Obs: o})
+					if err != nil {
+						t.Fatal(err)
+					}
+					equalRepartitioned(t, "observed "+schedLabel(sched, th, w), bare, observed)
+					if o.Registry().Counter("rung.evaluated").Value() == 0 && bare.Iterations > 0 {
+						t.Errorf("observer attached but no rung evaluations recorded (%s)", schedLabel(sched, th, w))
+					}
+
+					reported, rep, err := RepartitionWithReport(g, Options{Threshold: th, Schedule: sched, Workers: w})
+					if err != nil {
+						t.Fatal(err)
+					}
+					equalRepartitioned(t, "reported "+schedLabel(sched, th, w), bare, reported)
+					if rep.Iterations != bare.Iterations {
+						t.Errorf("report iterations %d, want %d", rep.Iterations, bare.Iterations)
+					}
+					if rep.Evaluations < rep.Iterations {
+						t.Errorf("report evaluations %d < iterations %d", rep.Evaluations, rep.Iterations)
+					}
+					if rep.IFL != bare.IFL || rep.Groups != bare.NumGroups() {
+						t.Errorf("report IFL/groups (%v, %d) disagree with result (%v, %d)",
+							rep.IFL, rep.Groups, bare.IFL, bare.NumGroups())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunReportPopulated pins the report's shape on a non-trivial grid:
+// phases timed, trajectory sorted and consistent, ladder stats filled.
+func TestRunReportPopulated(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := randomMultiGrid(rng)
+	rp, rep, err := RepartitionWithReport(g, Options{Threshold: 0.2, Schedule: ScheduleGeometric, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rows != g.Rows || rep.Cols != g.Cols || rep.Attrs != g.NumAttrs() {
+		t.Errorf("report geometry %dx%dx%d, want %dx%dx%d", rep.Rows, rep.Cols, rep.Attrs, g.Rows, g.Cols, g.NumAttrs())
+	}
+	if rep.Schedule != "geometric" {
+		t.Errorf("schedule %q, want geometric", rep.Schedule)
+	}
+	if rep.TotalNS <= 0 {
+		t.Error("TotalNS not populated")
+	}
+	if rep.LadderRungs == 0 || rep.Field.FinitePairs == 0 {
+		t.Errorf("ladder/field stats empty: %+v", rep.Field)
+	}
+	if len(rep.Trajectory) != rep.Evaluations {
+		t.Errorf("trajectory has %d points, want %d", len(rep.Trajectory), rep.Evaluations)
+	}
+	for i, e := range rep.Trajectory {
+		if i > 0 && e.Rung <= rep.Trajectory[i-1].Rung {
+			t.Fatalf("trajectory not strictly ascending at %d: %+v", i, rep.Trajectory)
+		}
+		if e.Pass != (e.IFL <= 0.2) {
+			t.Errorf("trajectory point %d: pass=%v inconsistent with ifl=%v", i, e.Pass, e.IFL)
+		}
+		if e.Groups > rep.PeakGroups {
+			t.Errorf("peak groups %d below trajectory point %d", rep.PeakGroups, e.Groups)
+		}
+	}
+	for _, phase := range []string{"varfield.build", "rung.extract", "rung.allocate", "rung.loss", "rung.eval"} {
+		ps, ok := rep.Phases[phase]
+		if rep.Evaluations == 0 && phase != "varfield.build" {
+			continue
+		}
+		if !ok || ps.Count == 0 {
+			t.Errorf("phase %q missing or empty: %+v", phase, rep.Phases)
+		}
+	}
+	if rp.NumGroups() != rep.Groups || rp.ValidGroups() != rep.ValidGroups {
+		t.Errorf("report group counts disagree with result")
 	}
 }

@@ -3,8 +3,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"spatialrepart/internal/grid"
+	"spatialrepart/internal/obs"
 )
 
 // Schedule selects how many rungs of the variation ladder the driver climbs
@@ -40,6 +42,11 @@ type Options struct {
 	// 1 forces the sequential path. The returned Partition, Features, and
 	// IFL are byte-identical for every value.
 	Workers int
+	// Obs, when non-nil, receives metrics and per-phase span timings from
+	// the run (DESIGN.md §3.14). Instrumentation only reads values the
+	// search already computed, so attaching an observer never changes the
+	// returned dataset; when nil, every hook is a single predictable branch.
+	Obs *obs.Observer
 }
 
 // Repartitioned is the output of the framework: the re-partitioned dataset
@@ -108,19 +115,47 @@ var ErrThreshold = errors.New("core: information-loss threshold must lie in [0, 
 // the evaluations the sequential loop would have performed — is
 // byte-identical to the Workers = 1 path.
 func Repartition(g *grid.Grid, opts Options) (*Repartitioned, error) {
+	return repartition(g, opts, nil)
+}
+
+// repartition is the shared driver behind Repartition and
+// RepartitionWithReport. rec, when non-nil, collects the data a RunReport
+// needs (and guarantees an active observer so per-phase timings exist).
+// Every observation reads values the search computed anyway, so the result
+// is byte-identical whether o and rec are nil or not.
+func repartition(g *grid.Grid, opts Options, rec *runRecorder) (*Repartitioned, error) {
 	if opts.Threshold < 0 || opts.Threshold > 1 {
 		return nil, fmt.Errorf("%w: got %v", ErrThreshold, opts.Threshold)
 	}
 	if err := grid.ValidateAttrs(g.Attrs); err != nil {
 		return nil, err
 	}
+	o := opts.Obs
+	if rec != nil {
+		if o == nil {
+			o = obs.New()
+		}
+		rec.obs = o
+		rec.start = time.Now()
+	}
 	workers := resolveWorkers(opts.Workers)
 	if opts.MaxIterations > 0 {
 		workers = 1 // a finite budget replays the sequential cut-off exactly
 	}
+	o.Count("repart.runs", 1)
+	o.SetGauge("repart.workers", float64(workers))
+
 	norm, _ := g.Normalized()
+	sp := o.StartSpan("varfield.build")
 	field := BuildFieldParallel(norm, workers)
+	sp.End()
 	ladder := field.Ladder()
+	o.SetGauge("repart.ladder_rungs", float64(ladder.Len()))
+	if rec != nil {
+		rec.field = field.Stats()
+		rec.rungs = ladder.Len()
+		rec.workers = workers
+	}
 
 	best := &Repartitioned{
 		Source:          g,
@@ -138,15 +173,21 @@ func Repartition(g *grid.Grid, opts Options) (*Repartitioned, error) {
 	// eval evaluates one ladder rung: pure given the field, so rungs can be
 	// evaluated speculatively and concurrently.
 	eval := func(i int) rungResult {
-		part := ExtractField(field, ladder.Rung(i))
-		feats := AllocateFeatures(g, part)
-		loss := IFL(g, part, feats)
-		return rungResult{rung: i, part: part, feats: feats, loss: loss, ok: loss <= opts.Threshold}
+		spe := o.StartSpan("rung.eval")
+		part := extractFieldObs(o, field, ladder.Rung(i))
+		feats := allocateFeaturesObs(o, g, part)
+		loss := iflObs(o, g, part, feats)
+		spe.End()
+		ok := loss <= opts.Threshold
+		o.Count("rung.evaluated", 1)
+		rec.record(i, ladder.Rung(i), loss, len(part.Groups), ok)
+		return rungResult{rung: i, part: part, feats: feats, loss: loss, ok: ok}
 	}
 	// promote installs a passing rung as the new best. Callers invoke it in
 	// ascending sequential-visit order, so the final best is the same rung
 	// the sequential loop accepts.
 	promote := func(rr rungResult) {
+		o.Count("rung.promoted", 1)
 		best = &Repartitioned{
 			Source:          g,
 			Partition:       rr.part,
@@ -159,7 +200,7 @@ func Repartition(g *grid.Grid, opts Options) (*Repartitioned, error) {
 	switch opts.Schedule {
 	case ScheduleExact:
 		if workers > 1 {
-			iters = exactParallel(eval, promote, ladder.Len(), workers)
+			iters = exactParallel(o, eval, promote, ladder.Len(), workers)
 		} else {
 			for i := 0; i < ladder.Len() && iters < iterBudget; i++ {
 				iters++
@@ -172,13 +213,14 @@ func Repartition(g *grid.Grid, opts Options) (*Repartitioned, error) {
 		}
 	case ScheduleGeometric:
 		if workers > 1 {
-			iters = geometricParallel(eval, promote, ladder.Len(), workers)
+			iters = geometricParallel(o, eval, promote, ladder.Len(), workers)
 		} else {
 			// Exponential search for the frontier, then bisection.
 			lastGood, firstBad := -1, ladder.Len()
 			for step := 1; lastGood+step < ladder.Len() && iters < iterBudget; step *= 2 {
 				i := lastGood + step
 				iters++
+				o.Count("geometric.probes", 1)
 				if rr := eval(i); rr.ok {
 					promote(rr)
 					lastGood = i
@@ -190,6 +232,7 @@ func Repartition(g *grid.Grid, opts Options) (*Repartitioned, error) {
 			for lo, hi := lastGood+1, firstBad-1; lo <= hi && iters < iterBudget; {
 				mid := (lo + hi) / 2
 				iters++
+				o.Count("geometric.bisections", 1)
 				if rr := eval(mid); rr.ok {
 					promote(rr)
 					lo = mid + 1
@@ -203,6 +246,8 @@ func Repartition(g *grid.Grid, opts Options) (*Repartitioned, error) {
 	}
 
 	best.Iterations = iters
+	o.SetGauge("repart.last_ifl", best.IFL)
+	o.SetGauge("repart.last_groups", float64(len(best.Partition.Groups)))
 	return best, nil
 }
 
@@ -211,7 +256,7 @@ func Repartition(g *grid.Grid, opts Options) (*Repartitioned, error) {
 // time. Results are scanned in rung order, so promotion order, the stopping
 // rung, and the returned iteration count all match the sequential loop;
 // batch entries past the first failure are discarded speculation.
-func exactParallel(eval func(int) rungResult, promote func(rungResult), n, workers int) int {
+func exactParallel(o *obs.Observer, eval func(int) rungResult, promote func(rungResult), n, workers int) int {
 	iters := 0
 	for start := 0; start < n; start += workers {
 		end := start + workers
@@ -222,9 +267,11 @@ func exactParallel(eval func(int) rungResult, promote func(rungResult), n, worke
 		for i := start; i < end; i++ {
 			rungs = append(rungs, i)
 		}
-		for _, rr := range evalRungs(eval, rungs, workers) {
+		results := evalRungsObs(o, eval, rungs, workers)
+		for scanned, rr := range results {
 			iters++
 			if !rr.ok {
+				o.Count("parallel.speculative_waste", int64(len(results)-scanned-1))
 				return iters
 			}
 			promote(rr)
@@ -240,7 +287,7 @@ func exactParallel(eval func(int) rungResult, promote func(rungResult), n, worke
 // decision tree per batch (speculativeMids) and then replays the sequential
 // walk against the collected results. Promotions happen in the sequential
 // visit order, so the outcome is byte-identical to Workers = 1.
-func geometricParallel(eval func(int) rungResult, promote func(rungResult), n, workers int) int {
+func geometricParallel(o *obs.Observer, eval func(int) rungResult, promote func(rungResult), n, workers int) int {
 	iters := 0
 	var probes []int
 	for lg, step := -1, 1; lg+step < n; step *= 2 {
@@ -254,8 +301,9 @@ func geometricParallel(eval func(int) rungResult, promote func(rungResult), n, w
 		if end > len(probes) {
 			end = len(probes)
 		}
-		for _, rr := range evalRungs(eval, probes[start:end], workers) {
+		for _, rr := range evalRungsObs(o, eval, probes[start:end], workers) {
 			iters++
+			o.Count("geometric.probes", 1)
 			if rr.ok {
 				promote(rr)
 				lastGood = rr.rung
@@ -269,16 +317,19 @@ func geometricParallel(eval func(int) rungResult, promote func(rungResult), n, w
 	for lo, hi := lastGood+1, firstBad-1; lo <= hi; {
 		mids := speculativeMids(lo, hi, workers)
 		res := make(map[int]rungResult, len(mids))
-		for _, rr := range evalRungs(eval, mids, workers) {
+		for _, rr := range evalRungsObs(o, eval, mids, workers) {
 			res[rr.rung] = rr
 		}
+		consumed := 0
 		for lo <= hi {
 			mid := (lo + hi) / 2
 			rr, have := res[mid]
 			if !have {
 				break // narrowed past this batch's speculation: refill
 			}
+			consumed++
 			iters++
+			o.Count("geometric.bisections", 1)
 			if rr.ok {
 				promote(rr)
 				lo = mid + 1
@@ -286,6 +337,7 @@ func geometricParallel(eval func(int) rungResult, promote func(rungResult), n, w
 				hi = mid - 1
 			}
 		}
+		o.Count("parallel.speculative_waste", int64(len(mids)-consumed))
 	}
 	return iters
 }

@@ -196,3 +196,47 @@ func ExtractField(f *VariationField, minAdjVariation float64) *Partition {
 	}
 	return p
 }
+
+// FieldStats summarizes a variation field for run reports: how many adjacent
+// pairs exist, how many are finite (i.e. mergeable), and the finite
+// variation range the ladder spans.
+type FieldStats struct {
+	Pairs        int     `json:"pairs"`
+	FinitePairs  int     `json:"finite_pairs"`
+	MinVariation float64 `json:"min_variation"`
+	MaxVariation float64 `json:"max_variation"`
+}
+
+// Stats scans the field once and returns its summary. Boundary sentinels
+// (the last column of H, the last row of V) are not adjacent pairs and are
+// excluded from Pairs; null–valid pairs count as pairs but are never finite.
+func (f *VariationField) Stats() FieldStats {
+	s := FieldStats{MinVariation: math.Inf(1), MaxVariation: math.Inf(-1)}
+	scan := func(v float64) {
+		s.Pairs++
+		if math.IsInf(v, 1) {
+			return
+		}
+		s.FinitePairs++
+		if v < s.MinVariation {
+			s.MinVariation = v
+		}
+		if v > s.MaxVariation {
+			s.MaxVariation = v
+		}
+	}
+	for r := 0; r < f.Rows; r++ {
+		for c := 0; c < f.Cols; c++ {
+			if c+1 < f.Cols {
+				scan(f.H[r*f.Cols+c])
+			}
+			if r+1 < f.Rows {
+				scan(f.V[r*f.Cols+c])
+			}
+		}
+	}
+	if s.FinitePairs == 0 {
+		s.MinVariation, s.MaxVariation = 0, 0
+	}
+	return s
+}

@@ -34,6 +34,7 @@ func CellReduction(cfg Config) ([]CellReductionRow, error) {
 				if err != nil {
 					return nil, err
 				}
+				cfg.Collector.Record(d.Name, theta, red.Report)
 				validCells := d.Grid.ValidCount()
 				groups := rp.ValidGroups()
 				rows = append(rows, CellReductionRow{

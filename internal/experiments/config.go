@@ -50,6 +50,10 @@ type Config struct {
 	// Results are byte-identical across settings — this only trades wall
 	// clock for cores.
 	Workers int
+	// Collector, when non-nil, receives the core.RunReport of every
+	// re-partitioning an experiment runner performs (DESIGN.md §3.14). The
+	// lab caches reductions, so each (dataset, θ) pair is recorded once.
+	Collector *Collector
 }
 
 // DefaultConfig returns the laptop-scale configuration. Set the environment

@@ -80,6 +80,7 @@ func (l *lab) repartition(name string, theta float64) (*Reduction, error) {
 	if err != nil {
 		return nil, err
 	}
+	l.cfg.Collector.Record(name, theta, r.Report)
 	l.reparts[k] = r
 	l.groups[k] = rp.ValidGroups()
 	return r, nil

@@ -43,6 +43,9 @@ type Reduction struct {
 	IFL float64
 	// ReduceTime is the wall-clock time the reduction itself took.
 	ReduceTime time.Duration
+	// Report is the instrumented run summary of the re-partitioning search
+	// (nil for every other method).
+	Report *core.RunReport
 }
 
 // Instances returns the number of training instances.
@@ -69,10 +72,11 @@ func PrepareOriginal(d *datagen.Dataset) (*Reduction, error) {
 // result to a Reduction. It returns the Repartitioned as well so callers can
 // reuse the partition count for the baselines. workers bounds the goroutines
 // of the ladder search (0 = GOMAXPROCS); the result is identical for every
-// setting.
+// setting. The Reduction carries the run's core.RunReport so experiment
+// drivers can aggregate per-phase timings (DESIGN.md §3.14).
 func PrepareRepartitioning(d *datagen.Dataset, theta float64, workers int) (*Reduction, *core.Repartitioned, error) {
 	start := time.Now()
-	rp, err := core.Repartition(d.Grid, core.Options{Threshold: theta, Schedule: core.ScheduleGeometric, Workers: workers})
+	rp, report, err := core.RepartitionWithReport(d.Grid, core.Options{Threshold: theta, Schedule: core.ScheduleGeometric, Workers: workers})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -99,6 +103,7 @@ func PrepareRepartitioning(d *datagen.Dataset, theta float64, workers int) (*Red
 		CellInstance: ci,
 		IFL:          rp.IFL,
 		ReduceTime:   elapsed,
+		Report:       report,
 	}, rp, nil
 }
 

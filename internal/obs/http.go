@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime/debug"
+	"strings"
+	"sync"
+)
+
+// MetricsHandler serves the registry's snapshot as JSON.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+}
+
+// NewMux returns an HTTP mux exposing the registry snapshot at /metrics,
+// the process expvars (including registries published with PublishExpvar)
+// at /debug/vars, and the net/http/pprof profiles under /debug/pprof/.
+func NewMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(r))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+var publishMu sync.Mutex
+
+// PublishExpvar registers the registry under the given expvar name so its
+// live snapshot appears at /debug/vars. Repeated calls for the same name are
+// no-ops (expvar.Publish panics on duplicates; this does not).
+func PublishExpvar(name string, r *Registry) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// Serve starts the metrics/pprof endpoint on addr (e.g. "localhost:6060" or
+// ":0") in a background goroutine and returns the server plus the bound
+// address. The registry is also published to expvar as "spatialrepart"
+// (first Serve wins), so /debug/vars carries the same snapshot. The caller
+// owns shutdown; short-lived CLIs simply let the process exit take it down.
+func Serve(addr string, r *Registry) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	PublishExpvar("spatialrepart", r)
+	srv := &http.Server{Handler: NewMux(r)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}
+
+// Version returns a one-line build description from the binary's embedded
+// build info: module version when installed, VCS revision and dirty flag
+// when built from a checkout, plus the Go toolchain version.
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown (no build info)"
+	}
+	var b strings.Builder
+	v := bi.Main.Version
+	if v == "" || v == "(devel)" {
+		v = "devel"
+	}
+	b.WriteString(v)
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		fmt.Fprintf(&b, " (%s%s)", rev, dirty)
+	}
+	fmt.Fprintf(&b, " %s", bi.GoVersion)
+	return b.String()
+}

@@ -1,0 +1,135 @@
+// Package obs is the repository's stdlib-only instrumentation layer
+// (DESIGN.md §3.14): a metrics registry (sharded counters, gauges,
+// fixed-bucket histograms), span-style tracing that records per-phase
+// timings into that registry, and an optional HTTP endpoint exposing
+// expvar snapshots plus net/http/pprof.
+//
+// Everything hangs off an *Observer, and a nil *Observer is the disabled
+// state: every method nil-checks and returns immediately, so instrumented
+// code passes observers around unconditionally and disabled instrumentation
+// costs roughly one predictable branch per call site (see
+// BenchmarkDisabledCount). Instrumentation never influences results — it
+// only reads values the instrumented code already computed.
+package obs
+
+import "time"
+
+// Observer is a handle to one registry plus the span clock. The zero value
+// is not useful; use New, or keep a nil *Observer to disable instrumentation.
+type Observer struct {
+	reg *Registry
+}
+
+// New returns an enabled observer with a fresh registry.
+func New() *Observer {
+	return &Observer{reg: NewRegistry()}
+}
+
+// WithRegistry returns an observer recording into an existing registry
+// (nil r yields a nil, disabled observer).
+func WithRegistry(r *Registry) *Observer {
+	if r == nil {
+		return nil
+	}
+	return &Observer{reg: r}
+}
+
+// Enabled reports whether the observer records anything.
+func (o *Observer) Enabled() bool { return o != nil }
+
+// Registry returns the observer's registry (nil for a disabled observer).
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Count adds delta to the named counter. The nil fast path is kept small
+// enough to inline (the enabled path lives in a separate method so the
+// branch fits the compiler's budget), so a disabled call compiles to a
+// branch at the call site.
+func (o *Observer) Count(name string, delta int64) {
+	if o == nil {
+		return
+	}
+	o.count(name, delta)
+}
+
+//go:noinline
+func (o *Observer) count(name string, delta int64) {
+	o.reg.Counter(name).Add(delta)
+}
+
+// SetGauge stores v in the named gauge.
+func (o *Observer) SetGauge(name string, v float64) {
+	if o == nil {
+		return
+	}
+	o.setGauge(name, v)
+}
+
+//go:noinline
+func (o *Observer) setGauge(name string, v float64) {
+	o.reg.Gauge(name).Set(v)
+}
+
+// Observe records v into the named histogram (default duration buckets on
+// first use; register the histogram up front for custom bounds).
+func (o *Observer) Observe(name string, v float64) {
+	if o == nil {
+		return
+	}
+	o.observe(name, v)
+}
+
+//go:noinline
+func (o *Observer) observe(name string, v float64) {
+	o.reg.Histogram(name, nil).Observe(v)
+}
+
+// Span is one in-flight timed phase. Spans are values — starting one
+// allocates nothing — and End is safe on the zero Span, which is what a
+// disabled observer hands out.
+type Span struct {
+	o     *Observer
+	name  string
+	start time.Time
+}
+
+// StartSpan begins a timed phase. Optional labels are folded into the metric
+// name ("name:l1:l2"), so each label combination gets its own histogram —
+// keep label cardinality small. End records the elapsed nanoseconds into the
+// histogram "span.<name>".
+func (o *Observer) StartSpan(name string, labels ...string) Span {
+	if o == nil {
+		return Span{}
+	}
+	return o.startSpan(name, labels)
+}
+
+//go:noinline
+func (o *Observer) startSpan(name string, labels []string) Span {
+	for _, l := range labels {
+		name += ":" + l
+	}
+	return Span{o: o, name: name, start: time.Now()}
+}
+
+// End records the span's duration. No-op on the zero Span.
+func (s Span) End() {
+	if s.o == nil {
+		return
+	}
+	s.end()
+}
+
+//go:noinline
+func (s Span) end() {
+	d := time.Since(s.start)
+	s.o.reg.Histogram("span."+s.name, nil).Observe(float64(d.Nanoseconds()))
+}
+
+// SpanPrefix is the registry-name prefix under which span histograms live;
+// report builders use it to find per-phase timings.
+const SpanPrefix = "span."

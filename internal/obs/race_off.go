@@ -1,0 +1,7 @@
+//go:build !race
+
+package obs
+
+// raceEnabled reports whether the race detector instruments this build;
+// timing-sensitive tests skip themselves when it does.
+const raceEnabled = false

@@ -9,12 +9,16 @@
 package stream
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"sync"
+	"time"
 
 	"spatialrepart/internal/core"
 	"spatialrepart/internal/grid"
+	"spatialrepart/internal/obs"
 )
 
 // Options configures a Repartitioner.
@@ -30,6 +34,12 @@ type Options struct {
 	// Workers bounds the goroutines used by refreshes and full recomputes
 	// (0 = GOMAXPROCS); passed through to core.Options.Workers.
 	Workers int
+	// Obs, when non-nil, receives the stream's metrics: ingestion counters,
+	// refresh/recompute latencies, the served generation, and the record lag
+	// behind the served view. Forwarded to core.Options.Obs, so full
+	// recompute phase timings land in the same registry. Nil disables all
+	// instrumentation at the cost of one branch per hook.
+	Obs *obs.Observer
 }
 
 // Stats reports the stream's bookkeeping counters.
@@ -38,6 +48,13 @@ type Stats struct {
 	Dropped    int // records outside the bounds
 	Recomputes int // full re-partitionings performed
 	Refreshes  int // cheap feature-only refreshes that kept the partition
+
+	// RecomputeFailures counts full re-partitionings that returned an
+	// error; LastRecomputeErr retains the most recent one. Without these a
+	// failure was visible only to the single Current caller that hit it —
+	// every later caller (and any monitoring) saw a healthy stream.
+	RecomputeFailures int
+	LastRecomputeErr  error
 }
 
 // Repartitioner maintains a re-partitioned view over a streaming grid. It is
@@ -118,6 +135,7 @@ func (s *Repartitioner) Add(rec grid.Record) error {
 	r, c, ok := s.bounds.CellOf(rec.Lat, rec.Lon, s.rows, s.cols)
 	if !ok {
 		s.stats.Dropped++
+		s.opts.Obs.Count("stream.dropped", 1)
 		return nil
 	}
 	idx := r*s.cols + c
@@ -135,6 +153,8 @@ func (s *Repartitioner) Add(rec grid.Record) error {
 	}
 	s.stats.Accepted++
 	s.sinceLastCheck++
+	s.opts.Obs.Count("stream.accepted", 1)
+	s.opts.Obs.SetGauge("stream.lag_records", float64(s.sinceLastCheck))
 	return nil
 }
 
@@ -209,8 +229,11 @@ func (s *Repartitioner) Current() (*core.Repartitioned, error) {
 	}
 
 	if cur != nil && compatiblePartition(g, cur.Partition) {
+		sp := s.opts.Obs.StartSpan("stream.refresh")
 		feats := core.AllocateFeaturesParallel(g, cur.Partition, s.opts.Workers)
-		if ifl := core.IFLParallel(g, cur.Partition, feats, s.opts.Workers); ifl <= s.opts.Threshold {
+		ifl := core.IFLParallel(g, cur.Partition, feats, s.opts.Workers)
+		sp.End()
+		if ifl <= s.opts.Threshold {
 			rp := &core.Repartitioned{
 				Source:          g,
 				Partition:       cur.Partition,
@@ -222,12 +245,24 @@ func (s *Repartitioner) Current() (*core.Repartitioned, error) {
 			return rp, nil
 		}
 	}
+	sp := s.opts.Obs.StartSpan("stream.recompute")
+	start := time.Now()
 	rp, err := core.Repartition(g, core.Options{
 		Threshold: s.opts.Threshold,
 		Schedule:  s.opts.Schedule,
 		Workers:   s.opts.Workers,
+		Obs:       s.opts.Obs,
 	})
+	sp.End()
+	s.opts.Obs.SetGauge("stream.last_recompute_ns", float64(time.Since(start).Nanoseconds()))
 	if err != nil {
+		// Without this bookkeeping the failure would be visible only to
+		// this one caller: the served view silently stays stale.
+		s.opts.Obs.Count("stream.recompute_failures", 1)
+		s.mu.Lock()
+		s.stats.RecomputeFailures++
+		s.stats.LastRecomputeErr = err
+		s.mu.Unlock()
 		return nil, err
 	}
 	s.install(rp, snapshotted, true)
@@ -245,9 +280,15 @@ func (s *Repartitioner) install(rp *core.Repartitioned, snapshotted int, recompu
 	s.sinceLastCheck -= snapshotted
 	if recompute {
 		s.stats.Recomputes++
+		s.opts.Obs.Count("stream.recomputes", 1)
 	} else {
 		s.stats.Refreshes++
+		s.opts.Obs.Count("stream.refreshes", 1)
 	}
+	s.opts.Obs.SetGauge("stream.generation", float64(s.generation))
+	s.opts.Obs.SetGauge("stream.lag_records", float64(s.sinceLastCheck))
+	s.opts.Obs.SetGauge("stream.served_groups", float64(rp.NumGroups()))
+	s.opts.Obs.SetGauge("stream.served_ifl", rp.IFL)
 }
 
 // compatiblePartition reports whether the old partition's null structure
@@ -289,4 +330,70 @@ func modalVote(m map[float64]int) float64 {
 		}
 	}
 	return best
+}
+
+// Report is the stream's machine-readable run summary: geometry, serving
+// state, counters, and — when an observer is attached — the full metrics
+// snapshot (ingestion rates, refresh/recompute latencies, recompute phase
+// timings).
+type Report struct {
+	Rows      int     `json:"rows"`
+	Cols      int     `json:"cols"`
+	Attrs     int     `json:"attrs"`
+	Threshold float64 `json:"threshold"`
+	Workers   int     `json:"workers"`
+
+	Generation int `json:"generation"`
+	LagRecords int `json:"lag_records"` // records ingested since the last staleness check
+
+	Accepted          int    `json:"accepted"`
+	Dropped           int    `json:"dropped"`
+	Recomputes        int    `json:"recomputes"`
+	Refreshes         int    `json:"refreshes"`
+	RecomputeFailures int    `json:"recompute_failures"`
+	LastRecomputeErr  string `json:"last_recompute_err,omitempty"`
+
+	ServedGroups int     `json:"served_groups"`
+	ServedIFL    float64 `json:"served_ifl"`
+
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+}
+
+// Report summarizes the stream's current state.
+func (s *Repartitioner) Report() Report {
+	s.mu.Lock()
+	r := Report{
+		Rows:              s.rows,
+		Cols:              s.cols,
+		Attrs:             len(s.attrs),
+		Threshold:         s.opts.Threshold,
+		Workers:           s.opts.Workers,
+		Generation:        s.generation,
+		LagRecords:        s.sinceLastCheck,
+		Accepted:          s.stats.Accepted,
+		Dropped:           s.stats.Dropped,
+		Recomputes:        s.stats.Recomputes,
+		Refreshes:         s.stats.Refreshes,
+		RecomputeFailures: s.stats.RecomputeFailures,
+	}
+	if s.stats.LastRecomputeErr != nil {
+		r.LastRecomputeErr = s.stats.LastRecomputeErr.Error()
+	}
+	if s.current != nil {
+		r.ServedGroups = s.current.NumGroups()
+		r.ServedIFL = s.current.IFL
+	}
+	s.mu.Unlock()
+	if reg := s.opts.Obs.Registry(); reg != nil {
+		snap := reg.Snapshot()
+		r.Metrics = &snap
+	}
+	return r
+}
+
+// WriteReport writes the Report as indented JSON.
+func (s *Repartitioner) WriteReport(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.Report())
 }

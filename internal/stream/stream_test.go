@@ -1,12 +1,15 @@
 package stream
 
 import (
+	"bytes"
+	"encoding/json"
 	"math/rand"
 	"sync"
 	"testing"
 	"time"
 
 	"spatialrepart/internal/grid"
+	"spatialrepart/internal/obs"
 )
 
 func testAttrs() []grid.Attribute {
@@ -332,5 +335,122 @@ func TestStreamEmptyCurrent(t *testing.T) {
 	}
 	if rp.ValidGroups() != 0 {
 		t.Errorf("valid groups = %d, want 0", rp.ValidGroups())
+	}
+}
+
+// TestRecomputeFailureRecorded: a failing full recompute must not vanish —
+// it is returned to the caller AND recorded in Stats and the obs counters,
+// so later callers and monitoring can see the stream is limping.
+func TestRecomputeFailureRecorded(t *testing.T) {
+	o := obs.New()
+	s, err := New(testBounds(), 6, 6, testAttrs(), Options{Threshold: 0.1, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		if err := s.Add(grid.Record{Lat: rng.Float64() * 10, Lon: rng.Float64() * 10,
+			Values: []float64{1, rng.Float64() * 5}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt the threshold after construction so core.Repartition rejects
+	// it — the only way to force a recompute failure from inside the tests.
+	s.opts.Threshold = -1
+	if _, err := s.Current(); err == nil {
+		t.Fatal("want recompute error")
+	}
+	st := s.Stats()
+	if st.RecomputeFailures != 1 {
+		t.Errorf("RecomputeFailures = %d, want 1", st.RecomputeFailures)
+	}
+	if st.LastRecomputeErr == nil {
+		t.Error("LastRecomputeErr not recorded")
+	}
+	if got := o.Registry().Counter("stream.recompute_failures").Value(); got != 1 {
+		t.Errorf("obs failure counter = %d, want 1", got)
+	}
+
+	// Recovery: a valid threshold clears the path (the stale error stays
+	// visible as the LAST error until the next failure).
+	s.opts.Threshold = 0.1
+	if _, err := s.Current(); err != nil {
+		t.Fatal(err)
+	}
+	st = s.Stats()
+	if st.Recomputes != 1 || st.RecomputeFailures != 1 {
+		t.Errorf("after recovery: %+v", st)
+	}
+}
+
+// TestStreamObsAndReport drives an instrumented stream through ingest,
+// recompute, and refresh, then checks the report and gauges line up with
+// Stats.
+func TestStreamObsAndReport(t *testing.T) {
+	o := obs.New()
+	s, err := New(testBounds(), 8, 8, testAttrs(), Options{Threshold: 0.15, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	add := func(n int) {
+		for i := 0; i < n; i++ {
+			if err := s.Add(grid.Record{Lat: rng.Float64() * 10, Lon: rng.Float64() * 10,
+				Values: []float64{1, 3 + rng.Float64()*0.1}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	add(200)
+	if err := s.Add(grid.Record{Lat: -5, Lon: -5, Values: []float64{1, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Current(); err != nil {
+		t.Fatal(err)
+	}
+	add(30)
+	if _, err := s.Current(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := s.Stats()
+	reg := o.Registry()
+	if got := reg.Counter("stream.accepted").Value(); got != int64(st.Accepted) {
+		t.Errorf("accepted counter = %d, stats say %d", got, st.Accepted)
+	}
+	if got := reg.Counter("stream.dropped").Value(); got != 1 {
+		t.Errorf("dropped counter = %d, want 1", got)
+	}
+	if got := reg.Counter("stream.recomputes").Value(); got != int64(st.Recomputes) {
+		t.Errorf("recompute counter = %d, stats say %d", got, st.Recomputes)
+	}
+	if st.Recomputes > 0 && reg.Gauge("stream.last_recompute_ns").Value() <= 0 {
+		t.Error("recompute latency gauge not set")
+	}
+	if g := reg.Gauge("stream.generation").Value(); g != float64(st.Recomputes+st.Refreshes) {
+		t.Errorf("generation gauge = %v, want %d", g, st.Recomputes+st.Refreshes)
+	}
+
+	rep := s.Report()
+	if rep.Accepted != st.Accepted || rep.Dropped != st.Dropped ||
+		rep.Recomputes != st.Recomputes || rep.Refreshes != st.Refreshes {
+		t.Errorf("report counters %+v disagree with stats %+v", rep, st)
+	}
+	if rep.ServedGroups == 0 {
+		t.Error("report has no served view")
+	}
+	if rep.Metrics == nil || rep.Metrics.Counters["stream.accepted"] != int64(st.Accepted) {
+		t.Error("report metrics snapshot missing or wrong")
+	}
+	var buf bytes.Buffer
+	if err := s.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("WriteReport output is not JSON: %v", err)
+	}
+	if _, ok := round["metrics"]; !ok {
+		t.Error("report JSON missing metrics")
 	}
 }

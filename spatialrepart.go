@@ -21,6 +21,7 @@ import (
 
 	"spatialrepart/internal/core"
 	"spatialrepart/internal/grid"
+	"spatialrepart/internal/obs"
 	"spatialrepart/internal/weights"
 )
 
@@ -84,6 +85,16 @@ const (
 // W is a binary-contiguity spatial weights object (adjacency lists).
 type W = weights.W
 
+// Observer collects metrics and per-phase span timings from an instrumented
+// run (DESIGN.md §3.14). Attach one via Options.Obs; a nil Observer costs a
+// single branch per hook and never changes results.
+type Observer = obs.Observer
+
+// RunReport is the machine-readable summary RepartitionWithReport produces:
+// per-phase timings, the IFL trajectory, ladder statistics, and worker
+// utilization.
+type RunReport = core.RunReport
+
 // NewGrid allocates an all-null rows×cols grid with the given attributes.
 func NewGrid(rows, cols int, attrs []Attribute) *Grid {
 	return grid.New(rows, cols, attrs)
@@ -106,6 +117,15 @@ func ReadGridCSV(r io.Reader) (*Grid, error) {
 // within Options.Threshold.
 func Repartition(g *Grid, opts Options) (*Repartitioned, error) {
 	return core.Repartition(g, opts)
+}
+
+// NewObserver returns an enabled Observer with a fresh metrics registry.
+func NewObserver() *Observer { return obs.New() }
+
+// RepartitionWithReport is Repartition plus a RunReport describing what the
+// search did; the returned dataset is byte-identical to Repartition's.
+func RepartitionWithReport(g *Grid, opts Options) (*Repartitioned, *RunReport, error) {
+	return core.RepartitionWithReport(g, opts)
 }
 
 // Homogeneous runs the naïve homogeneous re-partitioning variant (§III-D)
