@@ -155,7 +155,9 @@ func runCellReduction(cfg experiments.Config) error {
 		return err
 	}
 	fmt.Println("Figs. 5 & 6 — spatial cell reduction and re-partitioning time")
-	experiments.PrintCellReduction(os.Stdout, rows)
+	if err := experiments.PrintCellReduction(os.Stdout, rows); err != nil {
+		return err
+	}
 	return writeCSV("fig5_fig6.csv", func(w *os.File) error {
 		return experiments.WriteCellReductionCSV(w, rows)
 	})
@@ -167,7 +169,9 @@ func runRegressionCosts(cfg experiments.Config) error {
 		return err
 	}
 	fmt.Println("Figs. 7 & 8 — regression/kriging training time and memory")
-	experiments.PrintTrainCosts(os.Stdout, rows)
+	if err := experiments.PrintTrainCosts(os.Stdout, rows); err != nil {
+		return err
+	}
 	return writeCSV("fig7_fig8.csv", func(w *os.File) error {
 		return experiments.WriteTrainCostsCSV(w, rows)
 	})
@@ -179,7 +183,9 @@ func runClusteringCosts(cfg experiments.Config) error {
 		return err
 	}
 	fmt.Println("Figs. 9 & 10 — clustering/classification training time and memory")
-	experiments.PrintTrainCosts(os.Stdout, rows)
+	if err := experiments.PrintTrainCosts(os.Stdout, rows); err != nil {
+		return err
+	}
 	return writeCSV("fig9_fig10.csv", func(w *os.File) error {
 		return experiments.WriteTrainCostsCSV(w, rows)
 	})
@@ -191,9 +197,13 @@ func runTable2(cfg experiments.Config) error {
 		return err
 	}
 	fmt.Println("Table II — prediction errors of spatial regression and kriging")
-	experiments.PrintTable2(os.Stdout, rows)
+	if err := experiments.PrintTable2(os.Stdout, rows); err != nil {
+		return err
+	}
 	fmt.Println("\nTable II summary — re-partitioning vs original and vs baselines (RMSE)")
-	experiments.PrintTable2Summary(os.Stdout, experiments.SummarizeTable2(rows))
+	if err := experiments.PrintTable2Summary(os.Stdout, experiments.SummarizeTable2(rows)); err != nil {
+		return err
+	}
 	return writeCSV("table2.csv", func(w *os.File) error {
 		return experiments.WriteTable2CSV(w, rows)
 	})
@@ -205,7 +215,9 @@ func runTable3(cfg experiments.Config) error {
 		return err
 	}
 	fmt.Println("Table III — weighted F1 of classification models")
-	experiments.PrintTable3(os.Stdout, rows)
+	if err := experiments.PrintTable3(os.Stdout, rows); err != nil {
+		return err
+	}
 	return writeCSV("table3.csv", func(w *os.File) error {
 		return experiments.WriteTable3CSV(w, rows)
 	})
@@ -217,7 +229,9 @@ func runTable4(cfg experiments.Config) error {
 		return err
 	}
 	fmt.Println("Table IV — clustering correctness (%)")
-	experiments.PrintTable4(os.Stdout, rows)
+	if err := experiments.PrintTable4(os.Stdout, rows); err != nil {
+		return err
+	}
 	return writeCSV("table4.csv", func(w *os.File) error {
 		return experiments.WriteTable4CSV(w, rows)
 	})
@@ -229,7 +243,9 @@ func runTable5(cfg experiments.Config) error {
 		return err
 	}
 	fmt.Println("Table V — information loss of homogeneous re-partitioning (merge factor 2)")
-	experiments.PrintTable5(os.Stdout, rows)
+	if err := experiments.PrintTable5(os.Stdout, rows); err != nil {
+		return err
+	}
 	return writeCSV("table5.csv", func(w *os.File) error {
 		return experiments.WriteTable5CSV(w, rows)
 	})
@@ -241,18 +257,24 @@ func runAblation(cfg experiments.Config) error {
 		return err
 	}
 	fmt.Println("Ablation — exact vs geometric variation schedule")
-	experiments.PrintAblation(os.Stdout, rows)
+	if err := experiments.PrintAblation(os.Stdout, rows); err != nil {
+		return err
+	}
 	alloc, err := experiments.AllocationAblation(cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Println("\nAblation — Algorithm 2 allocation: best-of-mean-and-mode vs mean-only")
-	experiments.PrintAllocationAblation(os.Stdout, alloc)
+	if err := experiments.PrintAllocationAblation(os.Stdout, alloc); err != nil {
+		return err
+	}
 	extr, err := experiments.ExtractorAblation(cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Println("\nAblation — extractor: greedy rectangle growing vs quadtree splitting")
-	experiments.PrintExtractorAblation(os.Stdout, extr)
+	if err := experiments.PrintExtractorAblation(os.Stdout, extr); err != nil {
+		return err
+	}
 	return nil
 }

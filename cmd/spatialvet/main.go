@@ -1,0 +1,154 @@
+// Command spatialvet runs the repository's custom static-analysis suite
+// (internal/analysis, DESIGN.md §3.15) over every package in the module:
+//
+//	go run ./cmd/spatialvet ./...
+//
+// It loads and type-checks the module using only the standard library
+// (go/parser, go/types, go/importer), runs the repo-specific analyzers
+// — maporder, lockcall, spanend, floateq, globalrand, errdrop,
+// panicsite — and prints one "file:line:col: analyzer: message" line
+// per finding. The exit status is 1 when findings remain, 2 on usage
+// or load errors, 0 on a clean tree.
+//
+// Findings are suppressed in source with a justified directive:
+//
+//	//spatialvet:ignore <analyzer> <reason>
+//
+// on the flagged line or the line directly above it. Misused
+// directives (unknown analyzer, missing reason) are themselves
+// findings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"spatialrepart/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("spatialvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: spatialvet [-list] [packages]\n\n")
+		fmt.Fprintf(stderr, "Analyzes the Go module containing the current directory. Package\n")
+		fmt.Fprintf(stderr, "arguments are ./-relative path patterns (a trailing /... matches the\n")
+		fmt.Fprintf(stderr, "subtree); with no arguments, or with ./..., the whole module is vetted.\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(stdout, "%-11s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(stderr, "spatialvet:", err)
+		return 2
+	}
+	pkgs, err := analysis.Load(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "spatialvet:", err)
+		return 2
+	}
+	pkgs = filterPackages(pkgs, root, fs.Args())
+	diags := analysis.RunAnalyzers(pkgs, analysis.Analyzers(), analysis.DefaultConfig())
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		cwd = "" // fall back to absolute paths in the report
+	}
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+		}
+		fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", file, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "spatialvet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// filterPackages keeps the packages matching the ./-relative patterns.
+// No patterns, or any "./..."/"..." pattern, keeps everything.
+func filterPackages(pkgs []*analysis.Package, root string, patterns []string) []*analysis.Package {
+	if len(patterns) == 0 {
+		return pkgs
+	}
+	type matcher struct {
+		prefix  string // cleaned relative dir ("" = module root)
+		subtree bool
+	}
+	var ms []matcher
+	for _, p := range patterns {
+		p = filepath.ToSlash(p)
+		sub := false
+		if rest, ok := strings.CutSuffix(p, "..."); ok {
+			sub = true
+			p = strings.TrimSuffix(rest, "/")
+		}
+		p = strings.TrimPrefix(p, "./")
+		if p == "." {
+			p = ""
+		}
+		if p == "" && sub {
+			return pkgs
+		}
+		ms = append(ms, matcher{prefix: p, subtree: sub})
+	}
+	var kept []*analysis.Package
+	for _, pkg := range pkgs {
+		rel, err := filepath.Rel(root, pkg.Dir)
+		if err != nil {
+			continue
+		}
+		rel = filepath.ToSlash(rel)
+		if rel == "." {
+			rel = ""
+		}
+		for _, m := range ms {
+			if rel == m.prefix || (m.subtree && strings.HasPrefix(rel, m.prefix+"/")) {
+				kept = append(kept, pkg)
+				break
+			}
+		}
+	}
+	return kept
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

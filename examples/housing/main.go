@@ -21,6 +21,15 @@ import (
 	"spatialrepart/internal/regress"
 )
 
+// must unwraps a (value, error) pair, exiting on error — example-main
+// convenience so metric computations stay one-liners.
+func must[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
+
 func main() {
 	// Synthetic stand-in for the King County home sales dataset: price,
 	// bedrooms, bathrooms, living area, lot size, build year, renovation
@@ -70,7 +79,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		rfMAE, _ := metrics.MAE(rfPred, yTe)
+		rfMAE := must(metrics.MAE(rfPred, yTe))
 
 		// Geographically weighted regression.
 		start = time.Now()
@@ -83,7 +92,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		gwrMAE, _ := metrics.MAE(gwrPred, yTe)
+		gwrMAE := must(metrics.MAE(gwrPred, yTe))
 
 		fmt.Printf("%-15s  random forest: train %-10s MAE $%.0f\n", prep.name, rfTime.Round(time.Millisecond), rfMAE)
 		fmt.Printf("%-15s  GWR (k=%d):     train %-10s MAE $%.0f\n", "", gwr.K, gwrTime.Round(time.Millisecond), gwrMAE)

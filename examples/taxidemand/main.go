@@ -20,6 +20,15 @@ import (
 	"spatialrepart/internal/metrics"
 )
 
+// must unwraps a (value, error) pair, exiting on error — example-main
+// convenience so metric computations stay one-liners.
+func must[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
+
 func main() {
 	// 1. Raw records → grid. Each record is one taxi ride.
 	records, bounds, attrs := datagen.TaxiRecords(7, 40000)
@@ -70,8 +79,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	mae, _ := metrics.MAE(pred, yTe)
-	rmse, _ := metrics.RMSE(pred, yTe)
+	mae := must(metrics.MAE(pred, yTe))
+	rmse := must(metrics.RMSE(pred, yTe))
 	fmt.Printf("kriging demand interpolation: MAE %.2f, RMSE %.2f pickups/cell\n", mae, rmse)
 	fmt.Printf("fitted variogram: nugget %.2f, sill %.2f, range %.4f°\n",
 		krig.Model.Nugget, krig.Model.Sill, krig.Model.Range)
@@ -113,6 +122,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	f1, _ := metrics.WeightedF1(predL, lTe)
+	f1 := must(metrics.WeightedF1(predL, lTe))
 	fmt.Printf("fare-band classification on re-partitioned grid: weighted F1 %.3f\n", f1)
 }

@@ -1,0 +1,178 @@
+// Package analysis is the repository's custom static-analysis layer
+// (DESIGN.md §3.15): a stdlib-only driver (go/parser + go/types +
+// go/importer — no golang.org/x/tools dependency) that loads and
+// type-checks every package in the module and runs repo-specific
+// analyzers guarding the invariants earlier PRs fought for —
+// byte-identical output across worker counts, no heavy work under the
+// ingestion lock, spans that always end, and numeric code that never
+// compares floats for exact equality by accident.
+//
+// Findings are suppressed with an in-source directive carrying a
+// mandatory reason:
+//
+//	//spatialvet:ignore <analyzer> <reason>
+//
+// placed on the flagged line or on the line directly above it. A
+// directive naming an unknown analyzer, or missing its reason, is
+// itself a diagnostic: suppressions must stay honest as analyzers are
+// renamed or retired.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check run over a type-checked package.
+type Analyzer struct {
+	Name string // short lower-case identifier used in output and directives
+	Doc  string // one-line description of the guarded invariant
+	Run  func(*Pass)
+}
+
+// Config carries the repo-specific knowledge the analyzers need. The
+// zero value disables the package-scoped analyzers; use DefaultConfig
+// for this repository's settings.
+type Config struct {
+	// HeavyFuncs lists functions that must never be called while a
+	// sync.Mutex/RWMutex is held, as "pkgsuffix.NamePrefix" entries:
+	// "internal/core.Repartition" matches every function whose package
+	// path ends in internal/core and whose name starts with Repartition.
+	HeavyFuncs []string
+	// FloatEqPkgs lists package-path suffixes (the numeric kernels) in
+	// which float ==/!= comparisons are flagged.
+	FloatEqPkgs []string
+}
+
+// DefaultConfig returns the configuration spatialvet runs with over
+// this repository.
+func DefaultConfig() Config {
+	return Config{
+		HeavyFuncs: []string{
+			// The full re-partitioning pipeline and its phase entry
+			// points: holding any lock across these was the PR 1
+			// stream.Current bug class.
+			"internal/core.Repartition",
+			"internal/core.BuildField",
+			"internal/core.BuildLadder",
+			"internal/core.Extract",
+			"internal/core.QuadtreeExtract",
+			"internal/core.AllocateFeatures",
+			"internal/core.IFL",
+			"internal/core.Homogeneous",
+			"internal/grid.FromRecords",
+			"internal/kriging.Fit",
+		},
+		FloatEqPkgs: []string{
+			"internal/core",
+			"internal/kriging",
+			"internal/mat",
+			"internal/regress",
+		},
+	}
+}
+
+// Analyzers returns the full suite in a stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		analyzerMapOrder,
+		analyzerLockCall,
+		analyzerSpanEnd,
+		analyzerFloatEq,
+		analyzerGlobalRand,
+		analyzerErrDrop,
+		analyzerPanicSite,
+	}
+}
+
+// AnalyzerNames returns the names of every analyzer in the suite.
+func AnalyzerNames() []string {
+	var names []string
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+// Diagnostic is one finding, positioned and attributed to an analyzer.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass is the per-(package, analyzer) context handed to Analyzer.Run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	Cfg      Config
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// RunAnalyzers runs every analyzer over every package, applies the
+// //spatialvet:ignore directives, and returns the surviving diagnostics
+// sorted by position. Directive misuse (unknown analyzer name, missing
+// reason) surfaces as diagnostics from the pseudo-analyzer "directive".
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, cfg Config) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Cfg:      cfg,
+				diags:    &pkgDiags,
+			}
+			a.Run(pass)
+		}
+		dirs, misuses := directivesAndMisuses(pkg, analyzers)
+		diags = append(diags, filterSuppressed(pkgDiags, dirs)...)
+		diags = append(diags, misuses...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// pkgPathHasSuffix reports whether pkg path ends with the
+// '/'-component-aligned suffix (e.g. "internal/core" matches
+// "spatialrepart/internal/core" but not "x/yinternal/core").
+func pkgPathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}

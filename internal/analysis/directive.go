@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// directivePrefix introduces an in-source suppression:
+//
+//	//spatialvet:ignore <analyzer> <reason>
+//
+// The directive silences findings of the named analyzer on the
+// directive's own line and on the line directly below it (so it can sit
+// either trailing the flagged statement or on its own line above it).
+// The reason is mandatory: a suppression without a recorded
+// justification is exactly the silent invariant erosion the suite
+// exists to prevent.
+const directivePrefix = "//spatialvet:ignore"
+
+// directive is one parsed suppression.
+type directive struct {
+	analyzer string
+	file     string
+	line     int
+}
+
+// directivesAndMisuses scans a package's comments for suppression
+// directives. Malformed directives (unknown analyzer name, missing
+// analyzer or reason) are returned as diagnostics from the
+// pseudo-analyzer "directive" rather than silently ignored.
+func directivesAndMisuses(pkg *Package, analyzers []*Analyzer) ([]directive, []Diagnostic) {
+	known := make(map[string]bool, len(analyzers))
+	var knownNames []string
+	for _, a := range analyzers {
+		known[a.Name] = true
+		knownNames = append(knownNames, a.Name)
+	}
+	var dirs []directive
+	var misuses []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					misuses = append(misuses, Diagnostic{
+						Pos:      pos,
+						Analyzer: "directive",
+						Message:  "spatialvet:ignore needs an analyzer name and a reason",
+					})
+				case !known[fields[0]]:
+					misuses = append(misuses, Diagnostic{
+						Pos:      pos,
+						Analyzer: "directive",
+						Message: fmt.Sprintf("spatialvet:ignore names unknown analyzer %q; known: %s",
+							fields[0], strings.Join(knownNames, ", ")),
+					})
+				case len(fields) == 1:
+					misuses = append(misuses, Diagnostic{
+						Pos:      pos,
+						Analyzer: "directive",
+						Message:  fmt.Sprintf("spatialvet:ignore %s needs a reason", fields[0]),
+					})
+				default:
+					dirs = append(dirs, directive{analyzer: fields[0], file: pos.Filename, line: pos.Line})
+				}
+			}
+		}
+	}
+	return dirs, misuses
+}
+
+// suppressionKey identifies one (file, analyzer, line) a directive covers.
+type suppressionKey struct {
+	file     string
+	analyzer string
+	line     int
+}
+
+// filterSuppressed drops diagnostics covered by a directive.
+func filterSuppressed(diags []Diagnostic, dirs []directive) []Diagnostic {
+	if len(dirs) == 0 {
+		return diags
+	}
+	covered := make(map[suppressionKey]bool, 2*len(dirs))
+	for _, d := range dirs {
+		covered[suppressionKey{d.file, d.analyzer, d.line}] = true
+		covered[suppressionKey{d.file, d.analyzer, d.line + 1}] = true
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if covered[suppressionKey{d.Pos.Filename, d.Analyzer, d.Pos.Line}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

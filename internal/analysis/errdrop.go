@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errdrop flags errors thrown away in non-test code: an error result
+// assigned to the blank identifier, or a call used as a bare statement
+// whose only result is an error. Deferred calls (the `defer f.Close()`
+// read-path idiom) are not flagged. Best-effort sites where the error
+// is genuinely unactionable carry //spatialvet:ignore errdrop <reason>.
+var analyzerErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "error assigned to _ or silently discarded",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				checkBlankErrAssign(pass, n)
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok && callReturnsOnlyError(pass, call) && !alwaysNilError(pass, call) {
+					pass.Reportf(call.Pos(), "result of %s is an error and is silently discarded", calleeName(call))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// alwaysNilError reports whether call is a method on *strings.Builder
+// or *bytes.Buffer, whose Write* methods are documented to always
+// return a nil error (the error result exists only to satisfy
+// io.Writer-shaped interfaces).
+func alwaysNilError(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	selection := pass.Info.Selections[sel]
+	if selection == nil {
+		return false
+	}
+	recv := selection.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+func checkBlankErrAssign(pass *Pass, as *ast.AssignStmt) {
+	// a, _ := f() — one call, tuple result: match blanks positionally.
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		tv, ok := pass.Info.Types[as.Rhs[0]]
+		if !ok {
+			return
+		}
+		tuple, ok := tv.Type.(*types.Tuple)
+		if !ok || tuple.Len() != len(as.Lhs) {
+			return
+		}
+		for i, l := range as.Lhs {
+			if isBlank(l) && isErrorType(tuple.At(i).Type()) {
+				pass.Reportf(l.Pos(), "error result of %s assigned to _: handle it or suppress with a reason", exprCallName(as.Rhs[0]))
+			}
+		}
+		return
+	}
+	// _ = expr (or paired assignment): match one-to-one.
+	for i, l := range as.Lhs {
+		if !isBlank(l) || i >= len(as.Rhs) {
+			continue
+		}
+		if tv, ok := pass.Info.Types[as.Rhs[i]]; ok && tv.Type != nil && isErrorType(tv.Type) {
+			pass.Reportf(l.Pos(), "error assigned to _: handle it or suppress with a reason")
+		}
+	}
+}
+
+func callReturnsOnlyError(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.Info.Types[call]
+	return ok && tv.Type != nil && isErrorType(tv.Type)
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return types.ExprString(fun)
+	}
+	return "call"
+}
+
+func exprCallName(e ast.Expr) string {
+	if call, ok := e.(*ast.CallExpr); ok {
+		return calleeName(call)
+	}
+	return "expression"
+}

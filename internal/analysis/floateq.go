@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// floateq flags == and != between floating-point operands in the
+// numeric kernels (Config.FloatEqPkgs): after any arithmetic, exact
+// equality is a rounding-error lottery — compare against a tolerance or
+// restructure. Two well-defined idioms are exempt:
+//
+//   - comparison against an exact zero constant (sparsity fast paths
+//     like `if av == 0 { continue }` and zero-value option defaults);
+//   - comparison against math.Inf(...) (sentinel checks — Inf survives
+//     every float operation that produces it).
+//
+// Intentional exact comparisons (category codes, sort-dedupe of values
+// copied verbatim) carry //spatialvet:ignore floateq <reason>.
+var analyzerFloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "exact float ==/!= in a numeric kernel package",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	applies := false
+	for _, suffix := range pass.Cfg.FloatEqPkgs {
+		if pkgPathHasSuffix(pass.Pkg.Path(), suffix) {
+			applies = true
+		}
+	}
+	if !applies {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			b, ok := n.(*ast.BinaryExpr)
+			if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass, b.X) || !isFloat(pass, b.Y) {
+				return true
+			}
+			if isExactZero(pass, b.X) || isExactZero(pass, b.Y) ||
+				isMathInf(pass, b.X) || isMathInf(pass, b.Y) {
+				return true
+			}
+			pass.Reportf(b.OpPos, "float %s comparison: use a tolerance, or suppress with a reason if exactness is the point", b.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// isExactZero reports whether e is a compile-time constant equal to 0.
+func isExactZero(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return constant.Compare(tv.Value, token.EQL, constant.MakeInt64(0))
+}
+
+// isMathInf reports whether e is a call to math.Inf.
+func isMathInf(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Inf" {
+		return false
+	}
+	pkgID, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.Info.Uses[pkgID].(*types.PkgName)
+	return ok && pn.Imported().Path() == "math"
+}

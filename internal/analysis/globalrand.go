@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// globalrand keeps randomness reproducible: library code must draw from
+// an explicitly seeded *rand.Rand (threaded through options, like
+// datagen does) — never from math/rand's process-global source, whose
+// unseeded state makes runs unreproducible and whose internal lock
+// serializes concurrent callers. Constructors (New, NewSource, NewZipf)
+// are the fix, so they are not flagged.
+var analyzerGlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "use of the global math/rand source instead of a seeded *rand.Rand",
+	Run:  runGlobalRand,
+}
+
+func runGlobalRand(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+				return true // a method on *rand.Rand etc. — explicitly sourced
+			}
+			switch fn.Name() {
+			case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+				return true
+			}
+			pass.Reportf(sel.Pos(), "rand.%s uses the global source: draw from a seeded *rand.Rand so runs are reproducible", fn.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockcall guards the PR 1 stream.Current lesson: the ingestion-path
+// mutex must never be held across a re-partitioning. It flags calls to
+// the configured heavy functions (Config.HeavyFuncs — core.Repartition
+// and friends) made while a sync.Mutex or sync.RWMutex is held.
+//
+// The analysis is intraprocedural and approximates execution order by
+// source position within one function body: Lock/RLock on an
+// expression marks it held, a non-deferred Unlock/RUnlock releases it,
+// and a deferred Unlock keeps it held until the function returns.
+// Nested function literals are analyzed as their own bodies (a closure
+// runs later, under whatever locks its caller holds). Branchy code can
+// fool the approximation in both directions; suppress intentional
+// holds with //spatialvet:ignore lockcall <reason>.
+var analyzerLockCall = &Analyzer{
+	Name: "lockcall",
+	Doc:  "heavy re-partitioning work invoked while a sync mutex is held",
+	Run:  runLockCall,
+}
+
+func runLockCall(pass *Pass) {
+	if len(pass.Cfg.HeavyFuncs) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					lockScanBody(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				lockScanBody(pass, n.Body)
+			}
+			return true
+		})
+	}
+}
+
+// lockScanBody scans one function body's calls in source order,
+// tracking which mutexes are held. Calls inside nested FuncLits are
+// excluded — they get their own scan.
+func lockScanBody(pass *Pass, body *ast.BlockStmt) {
+	var calls []*ast.CallExpr
+	deferred := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			deferred[n.Call] = true
+		case *ast.CallExpr:
+			calls = append(calls, n)
+		}
+		return true
+	})
+	sort.Slice(calls, func(i, j int) bool { return calls[i].Pos() < calls[j].Pos() })
+
+	held := map[string]bool{} // receiver expression -> held
+	for _, call := range calls {
+		if recv, op, ok := mutexOp(pass, call); ok {
+			switch op {
+			case "Lock", "RLock":
+				held[recv] = true
+			case "Unlock", "RUnlock":
+				if !deferred[call] {
+					delete(held, recv)
+				}
+			}
+			continue
+		}
+		if len(held) == 0 {
+			continue
+		}
+		if name, ok := heavyCallee(pass, call); ok {
+			var locks []string
+			for recv := range held {
+				locks = append(locks, recv)
+			}
+			sort.Strings(locks)
+			pass.Reportf(call.Pos(), "call to %s while %s is held — snapshot under the lock, compute outside it", name, strings.Join(locks, ", "))
+		}
+	}
+}
+
+// mutexOp reports whether call is a Lock/RLock/Unlock/RUnlock on a
+// sync.Mutex or sync.RWMutex, returning the receiver's source text.
+func mutexOp(pass *Pass, call *ast.CallExpr) (recv, op string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	tv, isTyped := pass.Info.Types[sel.X]
+	if !isTyped || !isSyncMutex(tv.Type) {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// isSyncMutex reports whether t is sync.Mutex/sync.RWMutex (possibly
+// behind a pointer).
+func isSyncMutex(t types.Type) bool {
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// heavyCallee reports whether call's static callee matches a
+// Config.HeavyFuncs entry, returning a display name.
+func heavyCallee(pass *Pass, call *ast.CallExpr) (string, bool) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return "", false
+	}
+	fn, isFunc := pass.Info.Uses[id].(*types.Func)
+	if !isFunc || fn.Pkg() == nil {
+		return "", false
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	for _, entry := range pass.Cfg.HeavyFuncs {
+		dot := strings.LastIndex(entry, ".")
+		if dot < 0 {
+			continue
+		}
+		pkgSuffix, namePrefix := entry[:dot], entry[dot+1:]
+		if pkgPathHasSuffix(path, pkgSuffix) && strings.HasPrefix(name, namePrefix) {
+			return fn.Pkg().Name() + "." + name, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,39 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// panicsite makes panics deliberate: non-test library code that panics
+// on a condition an input can reach turns a bad record or flag into a
+// crashed worker. Input-reachable conditions must return errors;
+// genuine programmer-error invariants (a constructor handed negative
+// dimensions, mirroring what make() itself would do) keep the panic but
+// carry an invariant comment and //spatialvet:ignore panicsite <reason>
+// so the audit trail is in the source.
+var analyzerPanicSite = &Analyzer{
+	Name: "panicsite",
+	Doc:  "panic in non-test code — return an error or document the invariant",
+	Run:  runPanicSite,
+}
+
+func runPanicSite(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			pass.Reportf(call.Pos(), "panic in library code: return an error if the condition is input-reachable, or document the invariant and suppress")
+			return true
+		})
+	}
+}

@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// spanend keeps the observability layer honest: a span that is started
+// but never ended records nothing, silently losing the phase timing it
+// was added for. For every `sp := o.StartSpan(...)` (any call named
+// StartSpan returning a type named Span) the analyzer requires, within
+// the same function body, either a `defer sp.End()` or an `sp.End()`
+// call with no return statement between the start and that first End.
+// Discarding the span (`o.StartSpan(...)` as a statement, or
+// assignment to _) is always a finding.
+var analyzerSpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc:  "obs span started without End reachable on every return path",
+	Run:  runSpanEnd,
+}
+
+func runSpanEnd(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			default:
+				return true
+			}
+			if body != nil {
+				spanScanBody(pass, body)
+			}
+			return true
+		})
+	}
+}
+
+func spanScanBody(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit && n != nil {
+			return false // nested literals are scanned as their own bodies
+		}
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && isStartSpanCall(pass, call) {
+				pass.Reportf(call.Pos(), "span discarded: assign the StartSpan result and End it")
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isStartSpanCall(pass, call) || i >= len(n.Lhs) {
+					continue
+				}
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok || id.Name == "_" {
+					pass.Reportf(call.Pos(), "span discarded: assign the StartSpan result and End it")
+					continue
+				}
+				obj := pass.Info.Defs[id]
+				if obj == nil {
+					obj = pass.Info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				checkSpanEnded(pass, body, call, obj)
+			}
+		}
+		return true
+	})
+}
+
+// checkSpanEnded verifies obj (a span started at call) is ended: either
+// a deferred End, or a plain End with no return in between.
+func checkSpanEnded(pass *Pass, body *ast.BlockStmt, start *ast.CallExpr, obj types.Object) {
+	var firstEnd ast.Node
+	deferredEnd := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if d, isDefer := n.(*ast.DeferStmt); isDefer {
+			if isEndCallOn(pass, d.Call, obj) {
+				deferredEnd = true
+			}
+			return true
+		}
+		if call, isCall := n.(*ast.CallExpr); isCall && call.Pos() > start.End() && isEndCallOn(pass, call, obj) {
+			if firstEnd == nil || call.Pos() < firstEnd.Pos() {
+				firstEnd = call
+			}
+		}
+		return true
+	})
+	if deferredEnd {
+		return
+	}
+	if firstEnd == nil {
+		pass.Reportf(start.Pos(), "span %s is never ended: its timing is silently dropped", obj.Name())
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if ret, isRet := n.(*ast.ReturnStmt); isRet && ret.Pos() > start.End() && ret.Pos() < firstEnd.Pos() {
+			pass.Reportf(ret.Pos(), "return between StartSpan and %s.End(): the span leaks on this path (use defer %s.End())", obj.Name(), obj.Name())
+		}
+		return true
+	})
+}
+
+// isStartSpanCall reports whether call invokes a method/function named
+// StartSpan whose (single) result is a named type called Span.
+func isStartSpanCall(pass *Pass, call *ast.CallExpr) bool {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return false
+	}
+	if name != "StartSpan" {
+		return false
+	}
+	tv, ok := pass.Info.Types[call]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	return ok && named.Obj().Name() == "Span"
+}
+
+// isEndCallOn reports whether call is obj.End().
+func isEndCallOn(pass *Pass, call *ast.CallExpr, obj types.Object) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && pass.Info.Uses[id] == obj
+}

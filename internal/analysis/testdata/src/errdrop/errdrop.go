@@ -1,0 +1,39 @@
+// Package errdrop is golden-test input for the errdrop analyzer.
+package errdrop
+
+import (
+	"errors"
+	"strings"
+)
+
+func mayFail() (int, error) { return 0, errors.New("boom") }
+
+func onlyErr() error { return nil }
+
+func blankInTuple() int {
+	v, _ := mayFail() // want "error result of mayFail assigned to _"
+	return v
+}
+
+func blankSolo() {
+	_ = onlyErr() // want "error assigned to _"
+}
+
+func bareStatement() {
+	onlyErr() // want "silently discarded"
+}
+
+func deferredClose() {
+	defer onlyErr()
+}
+
+func builderNeverFails(sb *strings.Builder) {
+	sb.WriteByte('x')
+}
+
+func handled() error {
+	if _, err := mayFail(); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+// Package floateq is golden-test input; the test config lists this
+// package path in FloatEqPkgs.
+package floateq
+
+import "math"
+
+func exactEqual(a, b float64) bool {
+	return a == b // want "float == comparison"
+}
+
+func exactNotEqual(a, b float64) bool {
+	return a != b // want "float != comparison"
+}
+
+func zeroFastPath(a float64) bool {
+	return a == 0
+}
+
+func infSentinel(a float64) bool {
+	return a == math.Inf(1)
+}
+
+func toleranceCompare(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+func intCompare(a, b int) bool {
+	return a == b
+}

@@ -1,0 +1,20 @@
+// Package globalrand is golden-test input for the globalrand analyzer.
+package globalrand
+
+import "math/rand"
+
+func fromGlobal() int {
+	return rand.Intn(10) // want "global source"
+}
+
+func shuffleGlobal(a []int) {
+	rand.Shuffle(len(a), func(i, j int) { a[i], a[j] = a[j], a[i] }) // want "global source"
+}
+
+func fromSeeded(r *rand.Rand) int {
+	return r.Intn(10)
+}
+
+func construct(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

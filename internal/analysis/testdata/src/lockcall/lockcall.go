@@ -1,0 +1,52 @@
+// Package lockcall is golden-test input for the lockcall analyzer; the
+// test config marks heavyCompute as a heavy function.
+package lockcall
+
+import "sync"
+
+type state struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	data []int
+}
+
+func heavyCompute(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}
+
+func heldAcrossCall(s *state) int {
+	s.mu.Lock()
+	v := heavyCompute(len(s.data)) // want "while s.mu is held"
+	s.mu.Unlock()
+	return v
+}
+
+func heldByDefer(s *state) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return heavyCompute(len(s.data)) // want "while s.mu is held"
+}
+
+func readLockHeld(s *state) int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return heavyCompute(len(s.data)) // want "while s.rw is held"
+}
+
+func snapshotThenCompute(s *state) int {
+	s.mu.Lock()
+	n := len(s.data)
+	s.mu.Unlock()
+	return heavyCompute(n)
+}
+
+func closureRunsLater(s *state) func() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.data)
+	return func() int { return heavyCompute(n) }
+}

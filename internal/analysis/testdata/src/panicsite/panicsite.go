@@ -1,0 +1,18 @@
+// Package panicsite is golden-test input for the panicsite analyzer.
+package panicsite
+
+import "fmt"
+
+func construct(n int) []int {
+	if n < 0 {
+		panic(fmt.Sprintf("negative size %d", n)) // want "panic in library code"
+	}
+	return make([]int, n)
+}
+
+func validated(n int) ([]int, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("negative size %d", n)
+	}
+	return make([]int, n), nil
+}

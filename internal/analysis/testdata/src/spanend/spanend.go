@@ -1,0 +1,48 @@
+// Package spanend is golden-test input: a local obs-shaped Span type,
+// since the analyzer matches StartSpan calls by name and result type.
+package spanend
+
+type Span struct{ name string }
+
+func (s Span) End() {}
+
+type Obs struct{}
+
+func (Obs) StartSpan(name string) Span { return Span{name: name} }
+
+func discarded(o Obs) {
+	o.StartSpan("phase") // want "span discarded"
+}
+
+func blankAssigned(o Obs) {
+	_ = o.StartSpan("phase") // want "span discarded"
+}
+
+func neverEnded(o Obs) string {
+	sp := o.StartSpan("phase") // want "never ended"
+	return sp.name
+}
+
+func returnLeaks(o Obs, fail bool) int {
+	sp := o.StartSpan("phase")
+	if fail {
+		return 0 // want "return between StartSpan and sp.End"
+	}
+	sp.End()
+	return 1
+}
+
+func deferredEnd(o Obs, fail bool) int {
+	sp := o.StartSpan("phase")
+	defer sp.End()
+	if fail {
+		return 0
+	}
+	return 1
+}
+
+func endedBeforeReturn(o Obs) int {
+	sp := o.StartSpan("phase")
+	sp.End()
+	return 1
+}

@@ -1,0 +1,24 @@
+// Package suppress is golden-test input for the suppression directive:
+// two correctly suppressed panics, one directive naming an unknown
+// analyzer (a misuse, and the panic below it stays flagged), and one
+// directive missing its reason (same).
+package suppress
+
+func suppressedSameLine() {
+	panic("invariant") //spatialvet:ignore panicsite golden-test fixture for a justified suppression
+}
+
+func suppressedLineAbove() {
+	//spatialvet:ignore panicsite golden-test fixture for a justified suppression
+	panic("invariant")
+}
+
+func unknownAnalyzer() {
+	//spatialvet:ignore nosuchcheck this name matches no analyzer
+	panic("still flagged")
+}
+
+func missingReason() {
+	//spatialvet:ignore panicsite
+	panic("still flagged")
+}

@@ -14,6 +14,7 @@ package boost
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"spatialrepart/internal/tree"
 )
@@ -70,7 +71,7 @@ func FitClassifier(x [][]float64, labels []int, opts Options) (*Classifier, erro
 	for l := range classSet {
 		classes = append(classes, l)
 	}
-	sortInts(classes)
+	sort.Ints(classes)
 	classIdx := map[int]int{}
 	for i, l := range classes {
 		classIdx[l] = i
@@ -213,13 +214,5 @@ func softmax(scores, dst []float64) {
 	}
 	for j := range dst {
 		dst[j] /= sum
-	}
-}
-
-func sortInts(a []int) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j] < a[j-1]; j-- {
-			a[j], a[j-1] = a[j-1], a[j]
-		}
 	}
 }

@@ -130,7 +130,7 @@ func mode(vals []float64) float64 {
 	best, bestN := vals[0], 1
 	run := 1
 	for i := 1; i < len(vals); i++ {
-		if vals[i] == vals[i-1] {
+		if vals[i] == vals[i-1] { //spatialvet:ignore floateq run counting over a sorted slice: duplicates are exact copies of the same stored value
 			run++
 		} else {
 			run = 1

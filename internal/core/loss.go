@@ -25,7 +25,7 @@ func Representative(attr grid.Attribute, groupValue float64, groupSize int) floa
 // error of IFLTerm.
 func IFLTermAttr(attr grid.Attribute, d, rep, span float64) float64 {
 	if attr.Categorical {
-		if d == rep {
+		if d == rep { //spatialvet:ignore floateq categorical attributes store discrete codes; exact match IS the semantic (Eq. 3)
 			return 0
 		}
 		return 1

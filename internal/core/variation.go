@@ -47,7 +47,7 @@ func VariationAttrs(attrs []grid.Attribute, a, b []float64) float64 {
 	var s float64
 	for k, av := range a {
 		if attrs[k].Categorical {
-			if av != b[k] {
+			if av != b[k] { //spatialvet:ignore floateq categorical attributes store discrete codes; the 0/1 mismatch indicator is exact by design
 				s++
 			}
 			continue

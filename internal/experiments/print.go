@@ -16,7 +16,7 @@ func methodLabel(m Method, theta float64) string {
 }
 
 // PrintCellReduction renders Figs. 5-6 rows.
-func PrintCellReduction(w io.Writer, rows []CellReductionRow) {
+func PrintCellReduction(w io.Writer, rows []CellReductionRow) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "dataset\tsize\tIFL-θ\tcells\tvalid\tgroups\treduction%\tIFL\ttime\titers")
 	for _, r := range rows {
@@ -24,11 +24,11 @@ func PrintCellReduction(w io.Writer, rows []CellReductionRow) {
 			r.Dataset, r.Size, r.Threshold, r.InitialCells, r.ValidCells,
 			r.Groups, r.ReductionPct, r.IFL, r.ReduceTime.Round(time.Millisecond), r.Iterations)
 	}
-	tw.Flush()
+	return tw.Flush()
 }
 
 // PrintTrainCosts renders Figs. 7-10 rows.
-func PrintTrainCosts(w io.Writer, rows []TrainCostRow) {
+func PrintTrainCosts(w io.Writer, rows []TrainCostRow) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "model\tdataset\tmethod\tinstances\ttrain-time\ttime-red%\ttrain-mem\tmem-red%")
 	for _, r := range rows {
@@ -36,11 +36,11 @@ func PrintTrainCosts(w io.Writer, rows []TrainCostRow) {
 			r.Model, r.Dataset, methodLabel(r.Method, r.Threshold), r.Instances,
 			r.TrainTime.Round(time.Microsecond), r.TimePct, formatBytes(r.TrainMem), r.MemPct)
 	}
-	tw.Flush()
+	return tw.Flush()
 }
 
 // PrintTable2 renders Table II rows.
-func PrintTable2(w io.Writer, rows []ErrorRow) {
+func PrintTable2(w io.Writer, rows []ErrorRow) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "model\tdataset\tmethod\tSE\tR2\tMAE\tRMSE\tIFL\tinstances")
 	for _, r := range rows {
@@ -48,43 +48,43 @@ func PrintTable2(w io.Writer, rows []ErrorRow) {
 			r.Model, r.Dataset, methodLabel(r.Method, r.Threshold),
 			r.SE, r.R2, r.MAE, r.RMSE, r.IFL, r.Instances)
 	}
-	tw.Flush()
+	return tw.Flush()
 }
 
 // PrintTable3 renders Table III rows.
-func PrintTable3(w io.Writer, rows []F1Row) {
+func PrintTable3(w io.Writer, rows []F1Row) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "model\tdataset\tmethod\tF1\taccuracy")
 	for _, r := range rows {
 		fmt.Fprintf(tw, "%s\t%s\t%s\t%.3f\t%.3f\n",
 			r.Model, r.Dataset, methodLabel(r.Method, r.Threshold), r.F1, r.Accuracy)
 	}
-	tw.Flush()
+	return tw.Flush()
 }
 
 // PrintTable4 renders Table IV rows.
-func PrintTable4(w io.Writer, rows []AgreementRow) {
+func PrintTable4(w io.Writer, rows []AgreementRow) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "dataset\tmethod\tagreement%")
 	for _, r := range rows {
 		fmt.Fprintf(tw, "%s\t%s\t%.2f\n", r.Dataset, methodLabel(r.Method, r.Threshold), r.Agreement)
 	}
-	tw.Flush()
+	return tw.Flush()
 }
 
 // PrintTable5 renders Table V rows.
-func PrintTable5(w io.Writer, rows []HomogeneousRow) {
+func PrintTable5(w io.Writer, rows []HomogeneousRow) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "dataset\tmerge-2-rows\tmerge-2-cols\tmerge-both\tML-aware-IFL@θmax\tML-aware-red%")
 	for _, r := range rows {
 		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\t%.3f\t%.1f\n",
 			r.Dataset, r.MergeRows, r.MergeCols, r.MergeBoth, r.MLAwareIFL, r.MLAwareReductionPct)
 	}
-	tw.Flush()
+	return tw.Flush()
 }
 
 // PrintAllocationAblation renders allocation-ablation rows.
-func PrintAllocationAblation(w io.Writer, rows []AllocationAblationRow) {
+func PrintAllocationAblation(w io.Writer, rows []AllocationAblationRow) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "dataset\tIFL-θ\tIFL-best-of\tIFL-mean-only\tmode-benefit%")
 	for _, r := range rows {
@@ -95,22 +95,22 @@ func PrintAllocationAblation(w io.Writer, rows []AllocationAblationRow) {
 		fmt.Fprintf(tw, "%s\t%.2f\t%.4f\t%.4f\t%.1f\n",
 			r.Dataset, r.Threshold, r.IFLBestOf, r.IFLMeanOnly, benefit)
 	}
-	tw.Flush()
+	return tw.Flush()
 }
 
 // PrintExtractorAblation renders extractor-ablation rows.
-func PrintExtractorAblation(w io.Writer, rows []ExtractorAblationRow) {
+func PrintExtractorAblation(w io.Writer, rows []ExtractorAblationRow) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "dataset\tIFL-θ\tgreedy-groups\tgreedy-IFL\tquadtree-groups\tquadtree-IFL")
 	for _, r := range rows {
 		fmt.Fprintf(tw, "%s\t%.2f\t%d\t%.4f\t%d\t%.4f\n",
 			r.Dataset, r.Threshold, r.GreedyGroups, r.GreedyIFL, r.QuadtreeGroups, r.QuadtreeIFL)
 	}
-	tw.Flush()
+	return tw.Flush()
 }
 
 // PrintAblation renders schedule-ablation rows.
-func PrintAblation(w io.Writer, rows []AblationRow) {
+func PrintAblation(w io.Writer, rows []AblationRow) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "dataset\tIFL-θ\tschedule\tgroups\tIFL\titers\ttime")
 	for _, r := range rows {
@@ -118,7 +118,7 @@ func PrintAblation(w io.Writer, rows []AblationRow) {
 			r.Dataset, r.Threshold, r.Schedule, r.Groups, r.IFL, r.Iterations,
 			r.Time.Round(time.Millisecond))
 	}
-	tw.Flush()
+	return tw.Flush()
 }
 
 func formatBytes(b uint64) string {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sort"
 	"text/tabwriter"
 )
 
@@ -75,7 +76,17 @@ func SummarizeTable2(rows []ErrorRow) []Table2Summary {
 			BeatsClustering:     g.repart < g.clustering,
 		})
 	}
-	sortSummaries(out)
+	// Stable, deterministic order: model, dataset, threshold.
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Model != b.Model {
+			return a.Model < b.Model
+		}
+		if a.Dataset != b.Dataset {
+			return a.Dataset < b.Dataset
+		}
+		return a.Threshold < b.Threshold
+	})
 	return out
 }
 
@@ -104,7 +115,7 @@ func CountWins(sums []Table2Summary) WinCounts {
 }
 
 // PrintTable2Summary renders the summaries and the win tally.
-func PrintTable2Summary(w io.Writer, sums []Table2Summary) {
+func PrintTable2Summary(w io.Writer, sums []Table2Summary) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "model\tdataset\tIFL-θ\tRMSE-vs-original%\tbeats-sampling\tbeats-regionalization\tbeats-clustering")
 	for _, s := range sums {
@@ -112,26 +123,11 @@ func PrintTable2Summary(w io.Writer, sums []Table2Summary) {
 			s.Model, s.Dataset, s.Threshold, s.RepartVsOriginalPct,
 			s.BeatsSampling, s.BeatsRegional, s.BeatsClustering)
 	}
-	tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
 	wc := CountWins(sums)
-	fmt.Fprintf(w, "re-partitioning wins: vs sampling %d/%d, vs regionalization %d/%d, vs clustering %d/%d\n",
+	_, err := fmt.Fprintf(w, "re-partitioning wins: vs sampling %d/%d, vs regionalization %d/%d, vs clustering %d/%d\n",
 		wc.VsSampling, wc.Total, wc.VsRegionalization, wc.Total, wc.VsClustering, wc.Total)
-}
-
-func sortSummaries(s []Table2Summary) {
-	// Stable, deterministic order: model, dataset, threshold.
-	lt := func(a, b Table2Summary) bool {
-		if a.Model != b.Model {
-			return a.Model < b.Model
-		}
-		if a.Dataset != b.Dataset {
-			return a.Dataset < b.Dataset
-		}
-		return a.Threshold < b.Threshold
-	}
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && lt(s[j], s[j-1]); j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
+	return err
 }

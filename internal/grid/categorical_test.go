@@ -111,3 +111,26 @@ func TestCSVRoundTripCategorical(t *testing.T) {
 		t.Error("attribute flags scrambled")
 	}
 }
+
+// TestModalCategoryTieDeterministic hammers the tie-break directly: with
+// equal counts the smallest code must win on every run, regardless of
+// map iteration order. A regression to iteration-order tie-breaking
+// shows up as a flaky failure here within a few of the 200 rounds.
+func TestModalCategoryTieDeterministic(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		m := map[float64]int{7: 3, 2: 3, 5: 3, 9: 1}
+		if got := modalCategory(m); got != 2 {
+			t.Fatalf("round %d: modalCategory = %v, want smallest tied code 2", i, got)
+		}
+	}
+}
+
+func TestFromRecordsRejectsBadDimensions(t *testing.T) {
+	attrs := []Attribute{{Name: "v", Agg: Average}}
+	b := Bounds{MinLat: 0, MaxLat: 1, MinLon: 0, MaxLon: 1}
+	for _, dims := range [][2]int{{0, 5}, {5, 0}, {-1, 5}, {5, -1}} {
+		if _, _, err := FromRecords(nil, b, dims[0], dims[1], attrs); err == nil {
+			t.Errorf("FromRecords(%dx%d) accepted, want error", dims[0], dims[1])
+		}
+	}
+}

@@ -62,8 +62,10 @@ type Grid struct {
 // New allocates a rows×cols grid with the given attributes. All cells start
 // null.
 func New(rows, cols int, attrs []Attribute) *Grid {
+	// Invariant: negative dimensions are a programmer error (mirrors what
+	// make() itself would do); input-derived sizes are validated by callers.
 	if rows < 0 || cols < 0 {
-		panic(fmt.Sprintf("grid: negative dimensions %dx%d", rows, cols))
+		panic(fmt.Sprintf("grid: negative dimensions %dx%d", rows, cols)) //spatialvet:ignore panicsite constructor contract: negative dims are programmer error, like make()
 	}
 	a := make([]Attribute, len(attrs))
 	copy(a, attrs)
@@ -123,8 +125,10 @@ func (g *Grid) Set(r, c, k int, v float64) {
 // SetVector assigns the whole feature vector of cell (r, c) and marks it
 // valid. The vector is copied.
 func (g *Grid) SetVector(r, c int, fv []float64) {
+	// Invariant: the vector width is fixed by the grid schema the caller
+	// built; a mismatch is a programming error, not an input condition.
 	if len(fv) != len(g.Attrs) {
-		panic(fmt.Sprintf("grid: feature vector length %d, want %d", len(fv), len(g.Attrs)))
+		panic(fmt.Sprintf("grid: feature vector length %d, want %d", len(fv), len(g.Attrs))) //spatialvet:ignore panicsite schema-width contract: mismatch is programmer error
 	}
 	copy(g.data[(r*g.Cols+c)*len(g.Attrs):], fv)
 	g.valid[r*g.Cols+c] = true

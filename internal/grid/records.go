@@ -69,6 +69,9 @@ func ValidateAttrs(attrs []Attribute) error {
 // Cells that receive no records stay null. Records outside the bounds are
 // dropped and counted in the second return value.
 func FromRecords(records []Record, bounds Bounds, rows, cols int, attrs []Attribute) (*Grid, int, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, 0, fmt.Errorf("grid: non-positive dimensions %dx%d", rows, cols)
+	}
 	if err := ValidateAttrs(attrs); err != nil {
 		return nil, 0, err
 	}

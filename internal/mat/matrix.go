@@ -18,8 +18,10 @@ type Dense struct {
 
 // NewDense allocates an r×c zero matrix.
 func NewDense(r, c int) *Dense {
+	// Invariant: negative dimensions are a programmer error (mirrors what
+	// make() itself would do); FromRows validates input-derived shapes.
 	if r < 0 || c < 0 {
-		panic(fmt.Sprintf("mat: negative dimension %dx%d", r, c))
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", r, c)) //spatialvet:ignore panicsite constructor contract: negative dims are programmer error, like make()
 	}
 	return &Dense{Rows: r, Cols: c, Data: make([]float64, r*c)}
 }

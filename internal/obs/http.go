@@ -18,7 +18,7 @@ func MetricsHandler(r *Registry) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(r.Snapshot())
+		_ = enc.Encode(r.Snapshot()) //spatialvet:ignore errdrop best-effort HTTP response write; a disconnected client is unactionable here
 	})
 }
 
@@ -63,7 +63,7 @@ func Serve(addr string, r *Registry) (*http.Server, string, error) {
 	}
 	PublishExpvar("spatialrepart", r)
 	srv := &http.Server{Handler: NewMux(r)}
-	go func() { _ = srv.Serve(ln) }()
+	go func() { _ = srv.Serve(ln) }() //spatialvet:ignore errdrop Serve returns ErrServerClosed on shutdown; the caller owns the server lifecycle
 	return srv, ln.Addr().String(), nil
 }
 

@@ -8,6 +8,7 @@ package reduce
 
 import (
 	"fmt"
+	"sort"
 
 	"spatialrepart/internal/core"
 	"spatialrepart/internal/grid"
@@ -192,7 +193,7 @@ func (r *Reduced) Adjacency(rows, cols int) [][]int {
 		for j := range set {
 			out[i] = append(out[i], j)
 		}
-		sortInts(out[i])
+		sort.Ints(out[i])
 	}
 	return out
 }
@@ -274,12 +275,4 @@ func (r *Reduced) TrainingData(g *grid.Grid, targetAttr int, bounds grid.Bounds)
 		d.Neighbors[ii] = nbrs
 	}
 	return d, nil
-}
-
-func sortInts(a []int) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j] < a[j-1]; j-- {
-			a[j], a[j-1] = a[j-1], a[j]
-		}
-	}
 }

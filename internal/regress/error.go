@@ -84,7 +84,7 @@ func FitError(x [][]float64, y []float64, w *weights.W) (*Error, error) {
 		return nil, fmt.Errorf("regress: FGLS: %w", err)
 	}
 	beta := fgls.Beta
-	if lambda != 1 {
+	if lambda != 1 { //spatialvet:ignore floateq guards division by the exact value 1-lambda; any lambda != 1 is safe to rescale
 		beta[0] /= 1 - lambda
 	}
 	return &Error{Lambda: lambda, Beta: beta}, nil

@@ -230,7 +230,7 @@ func (s *Repartitioner) Current() (*core.Repartitioned, error) {
 
 	if cur != nil && compatiblePartition(g, cur.Partition) {
 		sp := s.opts.Obs.StartSpan("stream.refresh")
-		feats := core.AllocateFeaturesParallel(g, cur.Partition, s.opts.Workers)
+		feats := core.AllocateFeaturesParallel(g, cur.Partition, s.opts.Workers) //spatialvet:ignore lockcall computeMu exists to serialize recomputes; the ingestion lock s.mu is already released
 		ifl := core.IFLParallel(g, cur.Partition, feats, s.opts.Workers)
 		sp.End()
 		if ifl <= s.opts.Threshold {
@@ -247,6 +247,7 @@ func (s *Repartitioner) Current() (*core.Repartitioned, error) {
 	}
 	sp := s.opts.Obs.StartSpan("stream.recompute")
 	start := time.Now()
+	//spatialvet:ignore lockcall computeMu exists to serialize recomputes; the ingestion lock s.mu is already released
 	rp, err := core.Repartition(g, core.Options{
 		Threshold: s.opts.Threshold,
 		Schedule:  s.opts.Schedule,
@@ -295,8 +296,7 @@ func (s *Repartitioner) install(rp *core.Repartitioned, snapshotted int, recompu
 // still matches the grid (a previously empty cell that received records
 // invalidates its null group).
 func compatiblePartition(g *grid.Grid, p *core.Partition) bool {
-	for gi, cg := range p.Groups {
-		_ = gi
+	for _, cg := range p.Groups {
 		for r := cg.RBeg; r <= cg.REnd; r++ {
 			for c := cg.CBeg; c <= cg.CEnd; c++ {
 				if g.Valid(r, c) == cg.Null {

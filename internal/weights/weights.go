@@ -6,6 +6,7 @@ package weights
 
 import (
 	"fmt"
+	"sort"
 )
 
 // W is a spatial weights object over n instances, stored as adjacency lists
@@ -241,15 +242,7 @@ func KNearestNeighbors(lat, lon []float64, k int) (*W, error) {
 	}
 	// Deterministic order.
 	for i := range neighbors {
-		sortInts(neighbors[i])
+		sort.Ints(neighbors[i])
 	}
 	return New(neighbors), nil
-}
-
-func sortInts(a []int) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j] < a[j-1]; j-- {
-			a[j], a[j-1] = a[j-1], a[j]
-		}
-	}
 }
