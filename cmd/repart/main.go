@@ -13,6 +13,15 @@
 //	       [-geojson groups.geojson -bounds minLat,maxLat,minLon,maxLon] \
 //	       [-schedule exact|geometric] [-workers n] [-render] [-stats] \
 //	       [-report run.json] [-metrics-addr :8080] [-version]
+//
+// Streaming mode ingests raw point records (header + "lat,lon,v1,…,vp" rows)
+// instead of a pre-aggregated grid, and can persist its aggregate state
+// across runs via a crash-safe checkpoint file:
+//
+//	repart -stream-records points.csv -stream-attrs "count:sum:int,price:avg" \
+//	       -stream-rows 32 -stream-cols 32 -bounds 40,41,-74,-73 \
+//	       -threshold 0.05 [-checkpoint state.ckpt] [-checkpoint-every 10000] \
+//	       [-out reduced.csv] [-report stream.json] [...]
 package main
 
 import (
@@ -46,6 +55,12 @@ func main() {
 	bbox := flag.String("bounds", "0,1,0,1", "geographic bounds for -geojson as minLat,maxLat,minLon,maxLon")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
 	version := flag.Bool("version", false, "print build information and exit")
+	streamRecords := flag.String("stream-records", "", "streaming mode: ingest raw records CSV (lat,lon,v1,…,vp) instead of -in")
+	streamAttrs := flag.String("stream-attrs", "", "streaming mode: attribute spec name:sum|avg[:int][:cat],…")
+	streamRows := flag.Int("stream-rows", 32, "streaming mode: grid rows")
+	streamCols := flag.Int("stream-cols", 32, "streaming mode: grid columns")
+	checkpoint := flag.String("checkpoint", "", "streaming mode: state file — restored at start if present, written atomically at exit")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "streaming mode: additionally checkpoint every n ingested records (0 = final only)")
 	flag.Parse()
 
 	if *version {
@@ -57,22 +72,39 @@ func main() {
 	logger.Info("repart starting", "version", obs.Version(),
 		"in", *in, "threshold", *threshold, "schedule", *schedule, "workers", *workers)
 
-	cfg := runConfig{
-		in: *in, out: *out, groupsOut: *groupsOut, adjOut: *adjOut, geoOut: *geoOut,
-		partOut: *partOut, reportOut: *reportOut, threshold: *threshold,
-		schedule: *schedule, workers: *workers, stats: *stats,
-		render: *doRender, bbox: *bbox,
-	}
+	var obsv *spatialrepart.Observer
 	if *metricsAddr != "" {
-		cfg.obsv = spatialrepart.NewObserver()
-		_, addr, err := obs.Serve(*metricsAddr, cfg.obsv.Registry())
+		obsv = spatialrepart.NewObserver()
+		_, addr, err := obs.Serve(*metricsAddr, obsv.Registry())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "repart:", err)
 			os.Exit(1)
 		}
 		logger.Info("metrics endpoint up", "addr", addr)
 	}
-	if err := run(cfg); err != nil {
+
+	var err error
+	if *streamRecords != "" {
+		err = runStream(streamConfig{
+			records: *streamRecords, attrsSpec: *streamAttrs,
+			rows: *streamRows, cols: *streamCols, bbox: *bbox,
+			threshold: *threshold, schedule: *schedule, workers: *workers,
+			checkpoint: *checkpoint, checkpointEvery: *checkpointEvery,
+			out: *out, groupsOut: *groupsOut, adjOut: *adjOut, geoOut: *geoOut,
+			partOut: *partOut, reportOut: *reportOut,
+			stats: *stats, render: *doRender, obsv: obsv,
+		})
+	} else if *checkpoint != "" || *checkpointEvery != 0 {
+		err = fmt.Errorf("-checkpoint/-checkpoint-every require -stream-records")
+	} else {
+		err = run(runConfig{
+			in: *in, out: *out, groupsOut: *groupsOut, adjOut: *adjOut, geoOut: *geoOut,
+			partOut: *partOut, reportOut: *reportOut, threshold: *threshold,
+			schedule: *schedule, workers: *workers, stats: *stats,
+			render: *doRender, bbox: *bbox, obsv: obsv,
+		})
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "repart:", err)
 		os.Exit(1)
 	}

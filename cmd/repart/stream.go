@@ -1,0 +1,237 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"spatialrepart"
+	"spatialrepart/internal/grid"
+	"spatialrepart/internal/render"
+	"spatialrepart/internal/stream"
+)
+
+// streamConfig carries the parsed flags of the streaming ingest mode
+// (-stream-records): raw point records are folded into a stream.Repartitioner
+// whose aggregate state survives restarts via -checkpoint.
+type streamConfig struct {
+	records         string // raw records CSV (lat,lon,v1,…,vp)
+	attrsSpec       string // attribute spec, e.g. "count:sum:int,price:avg,kind:avg:cat"
+	rows, cols      int
+	bbox            string
+	threshold       float64
+	schedule        string
+	workers         int
+	checkpoint      string // checkpoint file: restored at start if present, written at exit
+	checkpointEvery int    // additionally checkpoint every n accepted records (0 = final only)
+
+	out, groupsOut, adjOut, geoOut, partOut, reportOut string
+	stats, render                                      bool
+	obsv                                               *spatialrepart.Observer
+}
+
+// parseStreamAttrs parses the -stream-attrs spec: comma-separated attributes,
+// each "name:agg[:int][:cat]" with agg ∈ {sum, avg, average}.
+func parseStreamAttrs(spec string) ([]grid.Attribute, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("-stream-attrs is required (e.g. \"count:sum:int,price:avg\")")
+	}
+	var attrs []grid.Attribute
+	for _, field := range strings.Split(spec, ",") {
+		parts := strings.Split(strings.TrimSpace(field), ":")
+		if len(parts) < 2 || parts[0] == "" {
+			return nil, fmt.Errorf("attribute %q: want name:sum|avg[:int][:cat]", field)
+		}
+		a := grid.Attribute{Name: parts[0]}
+		switch parts[1] {
+		case "sum":
+			a.Agg = grid.Sum
+		case "avg", "average":
+			a.Agg = grid.Average
+		default:
+			return nil, fmt.Errorf("attribute %q: unknown aggregation %q", field, parts[1])
+		}
+		for _, flagPart := range parts[2:] {
+			switch flagPart {
+			case "int":
+				a.Integer = true
+			case "cat":
+				a.Categorical = true
+			default:
+				return nil, fmt.Errorf("attribute %q: unknown flag %q", field, flagPart)
+			}
+		}
+		attrs = append(attrs, a)
+	}
+	return attrs, nil
+}
+
+// runStream ingests raw records into a streaming repartitioner — restoring a
+// prior checkpoint first when one exists — and writes the served partition
+// through the same output writers as the batch mode.
+func runStream(cfg streamConfig) error {
+	attrs, err := parseStreamAttrs(cfg.attrsSpec)
+	if err != nil {
+		return err
+	}
+	bounds, err := parseBounds(cfg.bbox)
+	if err != nil {
+		return err
+	}
+	opts := stream.Options{
+		Threshold: cfg.threshold,
+		Workers:   cfg.workers,
+	}
+	if cfg.obsv != nil {
+		opts.Obs = cfg.obsv
+	}
+	switch cfg.schedule {
+	case "exact":
+		opts.Schedule = spatialrepart.ScheduleExact
+	case "geometric":
+		opts.Schedule = spatialrepart.ScheduleGeometric
+	default:
+		return fmt.Errorf("unknown schedule %q", cfg.schedule)
+	}
+	s, err := stream.New(bounds, cfg.rows, cfg.cols, attrs, opts)
+	if err != nil {
+		return err
+	}
+
+	restored := false
+	if cfg.checkpoint != "" {
+		f, err := os.Open(cfg.checkpoint)
+		switch {
+		case err == nil:
+			rerr := s.Restore(f)
+			if cerr := f.Close(); rerr == nil {
+				rerr = cerr
+			}
+			if rerr != nil {
+				return fmt.Errorf("restoring %s: %w", cfg.checkpoint, rerr)
+			}
+			restored = true
+		case os.IsNotExist(err):
+			// First run: nothing to restore.
+		default:
+			return err
+		}
+	}
+
+	f, err := os.Open(cfg.records)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sinceCheckpoint := 0
+	if err := grid.ScanRecordsCSV(f, len(attrs), func(rec grid.Record) error {
+		if err := s.Add(rec); err != nil {
+			return err
+		}
+		sinceCheckpoint++
+		if cfg.checkpoint != "" && cfg.checkpointEvery > 0 && sinceCheckpoint >= cfg.checkpointEvery {
+			sinceCheckpoint = 0
+			return writeCheckpoint(s, cfg.checkpoint)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	v, err := s.Current()
+	if err != nil {
+		return err
+	}
+	if cfg.checkpoint != "" {
+		if err := writeCheckpoint(s, cfg.checkpoint); err != nil {
+			return err
+		}
+	}
+	if cfg.stats {
+		st := s.Stats()
+		fmt.Fprintf(os.Stderr, "stream: accepted=%d dropped=%d recomputes=%d refreshes=%d failures=%d restored=%t\n",
+			st.Accepted, st.Dropped, st.Recomputes, st.Refreshes, st.RecomputeFailures, restored)
+		fmt.Fprintf(os.Stderr, "cell-groups: %d (%d non-null), IFL=%.4f, generation=%d, degraded=%t\n",
+			v.NumGroups(), v.ValidGroups(), v.IFL, v.Generation, v.Degraded)
+	}
+	if cfg.reportOut != "" {
+		rf, err := os.Create(cfg.reportOut)
+		if err != nil {
+			return err
+		}
+		defer rf.Close()
+		if err := s.WriteReport(rf); err != nil {
+			return fmt.Errorf("writing stream report: %w", err)
+		}
+	}
+	return writeStreamOutputs(cfg, v.Repartitioned, bounds)
+}
+
+// writeStreamOutputs routes the served partition through the batch-mode
+// output writers.
+func writeStreamOutputs(cfg streamConfig, rp *spatialrepart.Repartitioned, bounds spatialrepart.Bounds) error {
+	if cfg.out != "" {
+		of, err := os.Create(cfg.out)
+		if err != nil {
+			return err
+		}
+		defer of.Close()
+		if err := rp.ReconstructGrid().WriteCSV(of); err != nil {
+			return fmt.Errorf("writing reduced grid: %w", err)
+		}
+	}
+	if cfg.groupsOut != "" {
+		if err := writeGroups(cfg.groupsOut, rp); err != nil {
+			return err
+		}
+	}
+	if cfg.adjOut != "" {
+		if err := writeAdjacency(cfg.adjOut, rp); err != nil {
+			return err
+		}
+	}
+	if cfg.geoOut != "" {
+		gf, err := os.Create(cfg.geoOut)
+		if err != nil {
+			return err
+		}
+		defer gf.Close()
+		if err := rp.WriteGeoJSON(gf, bounds); err != nil {
+			return fmt.Errorf("writing GeoJSON: %w", err)
+		}
+	}
+	if cfg.partOut != "" {
+		pf, err := os.Create(cfg.partOut)
+		if err != nil {
+			return err
+		}
+		defer pf.Close()
+		if err := rp.WriteJSON(pf); err != nil {
+			return fmt.Errorf("writing partition JSON: %w", err)
+		}
+	}
+	if cfg.render {
+		fmt.Print(render.PartitionBorders(rp.Partition))
+	}
+	return nil
+}
+
+// writeCheckpoint writes the stream state to path atomically (temp file +
+// rename), so a crash mid-write never corrupts the previous checkpoint.
+func writeCheckpoint(s *stream.Repartitioner, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := s.Checkpoint(f); err != nil {
+		f.Close()      //spatialvet:ignore errdrop best-effort cleanup of a failed write; the Checkpoint error is the one reported
+		os.Remove(tmp) //spatialvet:ignore errdrop best-effort cleanup of a failed write; the Checkpoint error is the one reported
+		return fmt.Errorf("writing checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp) //spatialvet:ignore errdrop best-effort cleanup of a failed write; the Close error is the one reported
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spatialrepart"
+	"spatialrepart/internal/grid"
+)
+
+// writeTestRecords writes a raw records CSV: a dense field of points whose
+// value steps up across the longitude midline, so the partition splits.
+func writeTestRecords(t *testing.T, dir, name string, n int) string {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString("lat,lon,count,price\n")
+	for i := 0; i < n; i++ {
+		lat := float64(i%20)/2 + 0.25
+		lon := float64((i*7)%20)/2 + 0.25
+		price := 10.0
+		if lon >= 5 {
+			price = 90
+		}
+		fmt.Fprintf(&sb, "%g,%g,1,%g\n", lat, lon, price)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseStreamAttrs(t *testing.T) {
+	attrs, err := parseStreamAttrs("count:sum:int, price:avg ,kind:avg:cat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []grid.Attribute{
+		{Name: "count", Agg: grid.Sum, Integer: true},
+		{Name: "price", Agg: grid.Average},
+		{Name: "kind", Agg: grid.Average, Categorical: true},
+	}
+	if len(attrs) != len(want) {
+		t.Fatalf("got %d attrs", len(attrs))
+	}
+	for i := range want {
+		if attrs[i] != want[i] {
+			t.Errorf("attr %d = %+v, want %+v", i, attrs[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "count", "count:median", "count:sum:huge"} {
+		if _, err := parseStreamAttrs(bad); err == nil {
+			t.Errorf("spec %q: want error", bad)
+		}
+	}
+}
+
+func TestRunStreamEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	records := writeTestRecords(t, dir, "points.csv", 400)
+	out := filepath.Join(dir, "out.csv")
+	report := filepath.Join(dir, "report.json")
+	ckpt := filepath.Join(dir, "state.ckpt")
+	cfg := streamConfig{
+		records: records, attrsSpec: "count:sum:int,price:avg",
+		rows: 8, cols: 8, bbox: "0,10,0,10",
+		threshold: 0.15, schedule: "geometric",
+		checkpoint: ckpt, checkpointEvery: 100,
+		out: out, reportOut: report,
+	}
+	if err := runStream(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := spatialrepart.ReadGridCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Rows != 8 || g.Cols != 8 {
+		t.Errorf("reduced grid %dx%d", g.Rows, g.Cols)
+	}
+	rb, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(rb), `"accepted": 400`) {
+		t.Errorf("report missing accepted count:\n%s", rb)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+	if _, err := os.Stat(ckpt + ".tmp"); !os.IsNotExist(err) {
+		t.Error("temp checkpoint file left behind")
+	}
+
+	// Second run restores the checkpoint: with only a header in the records
+	// file the accepted count carries over from the first run.
+	empty := filepath.Join(dir, "empty.csv")
+	if err := os.WriteFile(empty, []byte("lat,lon,count,price\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	report2 := filepath.Join(dir, "report2.json")
+	out2 := filepath.Join(dir, "out2.csv")
+	cfg2 := cfg
+	cfg2.records, cfg2.reportOut, cfg2.out = empty, report2, out2
+	if err := runStream(cfg2); err != nil {
+		t.Fatal(err)
+	}
+	rb2, err := os.ReadFile(report2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(rb2), `"accepted": 400`) {
+		t.Errorf("restored run lost the accepted count:\n%s", rb2)
+	}
+	// Identical aggregates serve an identical reduced grid.
+	b1, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Error("restored run wrote a different reduced grid")
+	}
+}
+
+func TestRunStreamErrors(t *testing.T) {
+	dir := t.TempDir()
+	records := writeTestRecords(t, dir, "points.csv", 40)
+	base := streamConfig{
+		records: records, attrsSpec: "count:sum,price:avg",
+		rows: 4, cols: 4, bbox: "0,10,0,10", threshold: 0.1, schedule: "geometric",
+	}
+
+	cfg := base
+	cfg.attrsSpec = ""
+	if err := runStream(cfg); err == nil {
+		t.Error("want missing attrs error")
+	}
+	cfg = base
+	cfg.bbox = "10,0,0,10" // inverted latitude span
+	if err := runStream(cfg); err == nil {
+		t.Error("want bounds validation error")
+	}
+	cfg = base
+	cfg.schedule = "bogus"
+	if err := runStream(cfg); err == nil {
+		t.Error("want schedule error")
+	}
+	cfg = base
+	cfg.records = filepath.Join(dir, "nonexistent.csv")
+	if err := runStream(cfg); err == nil {
+		t.Error("want open error")
+	}
+	cfg = base
+	cfg.attrsSpec = "count:sum" // arity mismatch vs two-value rows
+	if err := runStream(cfg); err == nil {
+		t.Error("want record arity error")
+	}
+	// A corrupt checkpoint must fail the run, not silently start fresh.
+	cfg = base
+	cfg.checkpoint = filepath.Join(dir, "bad.ckpt")
+	if err := os.WriteFile(cfg.checkpoint, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runStream(cfg); err == nil {
+		t.Error("want corrupt checkpoint error")
+	}
+}

@@ -144,13 +144,17 @@ func IFLParallel(orig *grid.Grid, part *Partition, feats [][]float64, workers in
 
 // rungResult is one evaluated ladder rung: the partition it extracts, the
 // features it allocates, and whether its information loss passes the
-// threshold.
+// threshold. canceled marks a placeholder produced after the run's context
+// was canceled: the evaluation was skipped, nothing in the result is valid,
+// and the driver converts it into an ErrCanceled return instead of ever
+// promoting it.
 type rungResult struct {
-	rung  int
-	part  *Partition
-	feats [][]float64
-	loss  float64
-	ok    bool
+	rung     int
+	part     *Partition
+	feats    [][]float64
+	loss     float64
+	ok       bool
+	canceled bool
 }
 
 // evalRungs evaluates the given ladder rungs concurrently on up to `workers`

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -47,6 +48,13 @@ type Options struct {
 	// search already computed, so attaching an observer never changes the
 	// returned dataset; when nil, every hook is a single predictable branch.
 	Obs *obs.Observer
+	// Ctx, when non-nil, cancels the run: the driver checks it before every
+	// rung evaluation and between speculative batches, and returns an error
+	// wrapping ErrCanceled (and the context's own error) within at most one
+	// in-flight rung of the cancellation. Nil means the run is never
+	// canceled. An un-canceled context never changes the returned dataset —
+	// the checkpoints are read-only branches.
+	Ctx context.Context
 }
 
 // Repartitioned is the output of the framework: the re-partitioned dataset
@@ -100,6 +108,27 @@ func (rp *Repartitioned) ValidGroups() int {
 // ErrThreshold is returned when Options.Threshold is outside [0, 1].
 var ErrThreshold = errors.New("core: information-loss threshold must lie in [0, 1]")
 
+// ErrCanceled is wrapped into the error returned when a run's context is
+// canceled or its deadline expires; the context's error (context.Canceled or
+// context.DeadlineExceeded) is wrapped alongside, so both
+// errors.Is(err, ErrCanceled) and errors.Is(err, ctx.Err()) hold.
+var ErrCanceled = errors.New("core: repartition canceled")
+
+// canceledErr wraps a canceled context's error in ErrCanceled.
+func canceledErr(ctx context.Context) error {
+	return fmt.Errorf("%w: %w", ErrCanceled, ctx.Err())
+}
+
+// RepartitionCtx is Repartition with cancellation: the search observes ctx at
+// cheap checkpoints (before each rung evaluation and between speculative
+// batches) and abandons the run with an error wrapping ErrCanceled within at
+// most one in-flight rung. Everything else — determinism across worker
+// counts included — is identical to Repartition.
+func RepartitionCtx(ctx context.Context, g *grid.Grid, opts Options) (*Repartitioned, error) {
+	opts.Ctx = ctx
+	return repartition(g, opts, nil)
+}
+
 // Repartition runs the full framework of §III-A: it normalizes the input,
 // pre-computes the adjacent-pair variation field (and from it the
 // min-adjacent-variation ladder) once, and then iterates extract → allocate
@@ -129,6 +158,13 @@ func repartition(g *grid.Grid, opts Options, rec *runRecorder) (*Repartitioned, 
 	}
 	if err := grid.ValidateAttrs(g.Attrs); err != nil {
 		return nil, err
+	}
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ctx.Err() != nil {
+		return nil, canceledErr(ctx)
 	}
 	o := opts.Obs
 	if rec != nil {
@@ -171,8 +207,13 @@ func repartition(g *grid.Grid, opts Options, rec *runRecorder) (*Repartitioned, 
 	iters := 0
 
 	// eval evaluates one ladder rung: pure given the field, so rungs can be
-	// evaluated speculatively and concurrently.
+	// evaluated speculatively and concurrently. A canceled context short-
+	// circuits the evaluation — the run is about to return an error, so the
+	// placeholder result is never promoted.
 	eval := func(i int) rungResult {
+		if ctx.Err() != nil {
+			return rungResult{rung: i, canceled: true}
+		}
 		spe := o.StartSpan("rung.eval")
 		part := extractFieldObs(o, field, ladder.Rung(i))
 		feats := allocateFeaturesObs(o, g, part)
@@ -200,11 +241,18 @@ func repartition(g *grid.Grid, opts Options, rec *runRecorder) (*Repartitioned, 
 	switch opts.Schedule {
 	case ScheduleExact:
 		if workers > 1 {
-			iters = exactParallel(o, eval, promote, ladder.Len(), workers)
+			var err error
+			iters, err = exactParallel(ctx, o, eval, promote, ladder.Len(), workers)
+			if err != nil {
+				return nil, err
+			}
 		} else {
 			for i := 0; i < ladder.Len() && iters < iterBudget; i++ {
 				iters++
 				rr := eval(i)
+				if rr.canceled {
+					return nil, canceledErr(ctx)
+				}
 				if !rr.ok {
 					break
 				}
@@ -213,7 +261,11 @@ func repartition(g *grid.Grid, opts Options, rec *runRecorder) (*Repartitioned, 
 		}
 	case ScheduleGeometric:
 		if workers > 1 {
-			iters = geometricParallel(o, eval, promote, ladder.Len(), workers)
+			var err error
+			iters, err = geometricParallel(ctx, o, eval, promote, ladder.Len(), workers)
+			if err != nil {
+				return nil, err
+			}
 		} else {
 			// Exponential search for the frontier, then bisection.
 			lastGood, firstBad := -1, ladder.Len()
@@ -221,7 +273,11 @@ func repartition(g *grid.Grid, opts Options, rec *runRecorder) (*Repartitioned, 
 				i := lastGood + step
 				iters++
 				o.Count("geometric.probes", 1)
-				if rr := eval(i); rr.ok {
+				rr := eval(i)
+				if rr.canceled {
+					return nil, canceledErr(ctx)
+				}
+				if rr.ok {
 					promote(rr)
 					lastGood = i
 				} else {
@@ -233,7 +289,11 @@ func repartition(g *grid.Grid, opts Options, rec *runRecorder) (*Repartitioned, 
 				mid := (lo + hi) / 2
 				iters++
 				o.Count("geometric.bisections", 1)
-				if rr := eval(mid); rr.ok {
+				rr := eval(mid)
+				if rr.canceled {
+					return nil, canceledErr(ctx)
+				}
+				if rr.ok {
 					promote(rr)
 					lo = mid + 1
 				} else {
@@ -255,10 +315,15 @@ func repartition(g *grid.Grid, opts Options, rec *runRecorder) (*Repartitioned, 
 // ScheduleExact loop, evaluating speculative batches of `workers` rungs at a
 // time. Results are scanned in rung order, so promotion order, the stopping
 // rung, and the returned iteration count all match the sequential loop;
-// batch entries past the first failure are discarded speculation.
-func exactParallel(o *obs.Observer, eval func(int) rungResult, promote func(rungResult), n, workers int) int {
+// batch entries past the first failure are discarded speculation. Context
+// cancellation is observed between batches and inside each evaluation, so the
+// climb aborts within one in-flight batch.
+func exactParallel(ctx context.Context, o *obs.Observer, eval func(int) rungResult, promote func(rungResult), n, workers int) (int, error) {
 	iters := 0
 	for start := 0; start < n; start += workers {
+		if ctx.Err() != nil {
+			return iters, canceledErr(ctx)
+		}
 		end := start + workers
 		if end > n {
 			end = n
@@ -269,15 +334,18 @@ func exactParallel(o *obs.Observer, eval func(int) rungResult, promote func(rung
 		}
 		results := evalRungsObs(o, eval, rungs, workers)
 		for scanned, rr := range results {
+			if rr.canceled {
+				return iters, canceledErr(ctx)
+			}
 			iters++
 			if !rr.ok {
 				o.Count("parallel.speculative_waste", int64(len(results)-scanned-1))
-				return iters
+				return iters, nil
 			}
 			promote(rr)
 		}
 	}
-	return iters
+	return iters, nil
 }
 
 // geometricParallel mirrors the sequential ScheduleGeometric search with
@@ -286,8 +354,9 @@ func exactParallel(o *obs.Observer, eval func(int) rungResult, promote func(rung
 // bisection phase evaluates the next few levels of the binary-search
 // decision tree per batch (speculativeMids) and then replays the sequential
 // walk against the collected results. Promotions happen in the sequential
-// visit order, so the outcome is byte-identical to Workers = 1.
-func geometricParallel(o *obs.Observer, eval func(int) rungResult, promote func(rungResult), n, workers int) int {
+// visit order, so the outcome is byte-identical to Workers = 1. Context
+// cancellation is observed between batches and inside each evaluation.
+func geometricParallel(ctx context.Context, o *obs.Observer, eval func(int) rungResult, promote func(rungResult), n, workers int) (int, error) {
 	iters := 0
 	var probes []int
 	for lg, step := -1, 1; lg+step < n; step *= 2 {
@@ -297,11 +366,17 @@ func geometricParallel(o *obs.Observer, eval func(int) rungResult, promote func(
 	lastGood, firstBad := -1, n
 	failed := false
 	for start := 0; start < len(probes) && !failed; start += workers {
+		if ctx.Err() != nil {
+			return iters, canceledErr(ctx)
+		}
 		end := start + workers
 		if end > len(probes) {
 			end = len(probes)
 		}
 		for _, rr := range evalRungsObs(o, eval, probes[start:end], workers) {
+			if rr.canceled {
+				return iters, canceledErr(ctx)
+			}
 			iters++
 			o.Count("geometric.probes", 1)
 			if rr.ok {
@@ -315,9 +390,15 @@ func geometricParallel(o *obs.Observer, eval func(int) rungResult, promote func(
 		}
 	}
 	for lo, hi := lastGood+1, firstBad-1; lo <= hi; {
+		if ctx.Err() != nil {
+			return iters, canceledErr(ctx)
+		}
 		mids := speculativeMids(lo, hi, workers)
 		res := make(map[int]rungResult, len(mids))
 		for _, rr := range evalRungsObs(o, eval, mids, workers) {
+			if rr.canceled {
+				return iters, canceledErr(ctx)
+			}
 			res[rr.rung] = rr
 		}
 		consumed := 0
@@ -339,5 +420,5 @@ func geometricParallel(o *obs.Observer, eval func(int) rungResult, promote func(
 		}
 		o.Count("parallel.speculative_waste", int64(len(mids)-consumed))
 	}
-	return iters
+	return iters, nil
 }

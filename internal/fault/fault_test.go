@@ -1,0 +1,169 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if err := in.Hit("anything"); err != nil {
+		t.Fatalf("nil injector Hit = %v, want nil", err)
+	}
+	in.Set("anything", Plan{Count: -1})
+	if h, f := in.Stats("anything"); h != 0 || f != 0 {
+		t.Fatalf("nil injector stats = %d/%d, want 0/0", h, f)
+	}
+}
+
+func TestUnarmedPointIsInert(t *testing.T) {
+	in := New(1)
+	for i := 0; i < 5; i++ {
+		if err := in.Hit("not.registered"); err != nil {
+			t.Fatalf("unarmed Hit = %v, want nil", err)
+		}
+	}
+	if h, f := in.Stats("not.registered"); h != 0 || f != 0 {
+		t.Fatalf("unarmed stats = %d/%d, want 0/0", h, f)
+	}
+}
+
+func TestWindowFiresExactly(t *testing.T) {
+	in := New(7)
+	boom := errors.New("boom")
+	in.Set("p", Plan{First: 2, Count: 3, Err: boom})
+	var got []bool
+	for i := 0; i < 8; i++ {
+		err := in.Hit("p")
+		got = append(got, err != nil)
+		if err != nil && !errors.Is(err, boom) {
+			t.Fatalf("hit %d: err = %v, want boom", i, err)
+		}
+	}
+	want := []bool{false, false, true, true, true, false, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("firing pattern = %v, want %v", got, want)
+		}
+	}
+	if h, f := in.Stats("p"); h != 8 || f != 3 {
+		t.Fatalf("stats = %d/%d, want 8/3", h, f)
+	}
+}
+
+func TestDefaultErrInjected(t *testing.T) {
+	in := New(1)
+	in.Set("p", Plan{Count: 1})
+	if err := in.Hit("p"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+}
+
+func TestNegativeCountFiresForever(t *testing.T) {
+	in := New(1)
+	in.Set("p", Plan{First: 1, Count: -1})
+	if err := in.Hit("p"); err != nil {
+		t.Fatalf("hit 0 fired: %v", err)
+	}
+	for i := 1; i < 20; i++ {
+		if err := in.Hit("p"); err == nil {
+			t.Fatalf("hit %d did not fire", i)
+		}
+	}
+}
+
+func TestProbabilisticDeterministicAcrossRuns(t *testing.T) {
+	pattern := func(seed int64) string {
+		in := New(seed)
+		in.Set("p", Plan{Prob: 0.3})
+		var b strings.Builder
+		for i := 0; i < 64; i++ {
+			if in.Hit("p") != nil {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+		return b.String()
+	}
+	a, b := pattern(42), pattern(42)
+	if a != b {
+		t.Fatalf("same seed produced different patterns:\n%s\n%s", a, b)
+	}
+	if !strings.Contains(a, "1") || !strings.Contains(a, "0") {
+		t.Fatalf("pattern %s is degenerate for Prob 0.3", a)
+	}
+	if c := pattern(43); c == a {
+		t.Fatalf("different seeds produced the same pattern %s", a)
+	}
+}
+
+func TestDelayOnlyPlanSleepsAndReturnsNil(t *testing.T) {
+	in := New(1)
+	in.Set("p", Plan{Count: 1, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := in.Hit("p"); err != nil {
+		t.Fatalf("delay-only plan returned %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("Hit returned after %v, want ≥ 20ms", d)
+	}
+}
+
+func TestPanicPlan(t *testing.T) {
+	in := New(1)
+	in.Set("p", Plan{Count: 1, Panic: true})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("armed panic plan did not panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), `"p"`) {
+			t.Fatalf("panic message %v does not name the point", r)
+		}
+	}()
+	_ = in.Hit("p")
+}
+
+func TestConcurrentHitsCountExactly(t *testing.T) {
+	in := New(3)
+	in.Set("p", Plan{First: 0, Count: 10})
+	const goroutines, per = 8, 50
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fired := 0
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if in.Hit("p") != nil {
+					mu.Lock()
+					fired++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fired != 10 {
+		t.Fatalf("fired = %d, want exactly 10 regardless of interleaving", fired)
+	}
+	if h, f := in.Stats("p"); h != goroutines*per || f != 10 {
+		t.Fatalf("stats = %d/%d, want %d/10", h, f, goroutines*per)
+	}
+}
+
+func TestSetResetsCounters(t *testing.T) {
+	in := New(1)
+	in.Set("p", Plan{Count: -1})
+	_ = in.Hit("p")
+	in.Set("p", Plan{Count: 1})
+	if h, f := in.Stats("p"); h != 0 || f != 0 {
+		t.Fatalf("re-armed stats = %d/%d, want 0/0", h, f)
+	}
+}

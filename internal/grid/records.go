@@ -19,6 +19,23 @@ type Bounds struct {
 	MinLon, MaxLon float64
 }
 
+// Validate rejects bounds no record could ever fall inside: NaN extents and
+// inverted or empty spans. Constructors that silently accepted such bounds
+// used to drop every ingested record as "out of bounds" — an unobservable
+// configuration bug.
+func (b Bounds) Validate() error {
+	for _, v := range []float64{b.MinLat, b.MaxLat, b.MinLon, b.MaxLon} {
+		if math.IsNaN(v) {
+			return fmt.Errorf("grid: bounds contain NaN: %+v", b)
+		}
+	}
+	if !(b.MaxLat > b.MinLat) || !(b.MaxLon > b.MinLon) {
+		return fmt.Errorf("grid: inverted or empty bounds: lat [%v, %v), lon [%v, %v)",
+			b.MinLat, b.MaxLat, b.MinLon, b.MaxLon)
+	}
+	return nil
+}
+
 // CellOf maps a coordinate to its (row, col) in a rows×cols partition of b.
 // Points on the max edge are clamped into the last row/column. The second
 // return is false if the point lies outside the bounds.

@@ -1,0 +1,65 @@
+package grid
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ScanRecordsCSV reads raw point records from CSV — a header line followed by
+// "lat,lon,v1,…,vp" rows with exactly nattrs value columns — and invokes fn
+// for each parsed record in order, without materializing the whole stream.
+// fn returning an error stops the scan and returns that error. This is the
+// ingestion format of cmd/repart's streaming mode.
+func ScanRecordsCSV(r io.Reader, nattrs int, fn func(Record) error) error {
+	if nattrs < 0 {
+		return fmt.Errorf("grid: negative attribute count %d", nattrs)
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2 + nattrs
+	if _, err := cr.Read(); err != nil { // header
+		if err == io.EOF {
+			return fmt.Errorf("grid: records CSV is empty")
+		}
+		return fmt.Errorf("grid: records CSV header: %w", err)
+	}
+	line := 1
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("grid: records CSV: %w", err)
+		}
+		line++
+		rec := Record{Values: make([]float64, nattrs)}
+		if rec.Lat, err = strconv.ParseFloat(row[0], 64); err != nil {
+			return fmt.Errorf("grid: records CSV line %d: lat %q: %w", line, row[0], err)
+		}
+		if rec.Lon, err = strconv.ParseFloat(row[1], 64); err != nil {
+			return fmt.Errorf("grid: records CSV line %d: lon %q: %w", line, row[1], err)
+		}
+		for k := 0; k < nattrs; k++ {
+			if rec.Values[k], err = strconv.ParseFloat(row[2+k], 64); err != nil {
+				return fmt.Errorf("grid: records CSV line %d: value %d %q: %w", line, k, row[2+k], err)
+			}
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+}
+
+// ReadRecordsCSV is ScanRecordsCSV collecting the records into a slice.
+func ReadRecordsCSV(r io.Reader, nattrs int) ([]Record, error) {
+	var recs []Record
+	if err := ScanRecordsCSV(r, nattrs, func(rec Record) error {
+		recs = append(recs, rec)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}

@@ -10,6 +10,7 @@ import (
 	"runtime/debug"
 	"strings"
 	"sync"
+	"time"
 )
 
 // MetricsHandler serves the registry's snapshot as JSON.
@@ -56,13 +57,23 @@ func PublishExpvar(name string, r *Registry) {
 // address. The registry is also published to expvar as "spatialrepart"
 // (first Serve wins), so /debug/vars carries the same snapshot. The caller
 // owns shutdown; short-lived CLIs simply let the process exit take it down.
+//
+// The server carries read and idle timeouts so a stalled or malicious client
+// cannot pin a connection (and its goroutine) forever. No WriteTimeout: the
+// pprof profile/trace endpoints legitimately stream for a client-chosen
+// number of seconds.
 func Serve(addr string, r *Registry) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	PublishExpvar("spatialrepart", r)
-	srv := &http.Server{Handler: NewMux(r)}
+	srv := &http.Server{
+		Handler:           NewMux(r),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go func() { _ = srv.Serve(ln) }() //spatialvet:ignore errdrop Serve returns ErrServerClosed on shutdown; the caller owns the server lifecycle
 	return srv, ln.Addr().String(), nil
 }

@@ -183,6 +183,10 @@ func TestServeEndpoints(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
+	if srv.ReadHeaderTimeout <= 0 || srv.ReadTimeout <= 0 || srv.IdleTimeout <= 0 {
+		t.Errorf("server missing slow-client timeouts: header=%v read=%v idle=%v",
+			srv.ReadHeaderTimeout, srv.ReadTimeout, srv.IdleTimeout)
+	}
 
 	get := func(path string) string {
 		resp, err := http.Get("http://" + addr + path)

@@ -1,0 +1,358 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"spatialrepart/internal/fault"
+	"spatialrepart/internal/grid"
+)
+
+func ckptAttrs() []grid.Attribute {
+	return []grid.Attribute{
+		{Name: "count", Agg: grid.Sum, Integer: true},
+		{Name: "value", Agg: grid.Average},
+		{Name: "kind", Agg: grid.Average, Categorical: true},
+	}
+}
+
+// ckptFill ingests n deterministic records (several distinct category codes
+// per cell, so the checkpoint's sorted-vote-map encoding is exercised).
+func ckptFill(t *testing.T, s *Repartitioner, n int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		rec := grid.Record{
+			Lat: rng.Float64() * 10,
+			Lon: rng.Float64() * 10,
+			Values: []float64{
+				float64(rng.Intn(5) + 1),
+				rng.Float64() * 100,
+				float64(rng.Intn(4)),
+			},
+		}
+		if err := s.Add(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	opts := Options{Threshold: 0.2}
+	s1, err := New(testBounds(), 6, 6, ckptAttrs(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckptFill(t, s1, 400, 7)
+	v1, err := s1.Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var b1 bytes.Buffer
+	if err := s1.Checkpoint(&b1); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(testBounds(), 6, 6, ckptAttrs(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Restore(bytes.NewReader(b1.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	// Byte identity: re-checkpointing the restored state reproduces the file.
+	var b2 bytes.Buffer
+	if err := s2.Checkpoint(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Errorf("restored checkpoint differs: %d vs %d bytes", b1.Len(), b2.Len())
+	}
+
+	// The restored aggregates are exactly the originals.
+	g1, g2 := s1.Grid(), s2.Grid()
+	for r := 0; r < 6; r++ {
+		for c := 0; c < 6; c++ {
+			if g1.Valid(r, c) != g2.Valid(r, c) {
+				t.Fatalf("cell (%d,%d) validity differs", r, c)
+			}
+			for k := 0; k < len(ckptAttrs()); k++ {
+				if g1.At(r, c, k) != g2.At(r, c, k) {
+					t.Fatalf("cell (%d,%d) attr %d: %v vs %v", r, c, k, g1.At(r, c, k), g2.At(r, c, k))
+				}
+			}
+		}
+	}
+
+	// Serving the restored stream recomputes an identical partition.
+	v2, err := s2.Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Degraded {
+		t.Error("restored view should not be degraded")
+	}
+	if v1.IFL != v2.IFL || v1.NumGroups() != v2.NumGroups() {
+		t.Errorf("views differ: IFL %v/%v, groups %d/%d", v1.IFL, v2.IFL, v1.NumGroups(), v2.NumGroups())
+	}
+	if !reflect.DeepEqual(v1.Partition.Groups, v2.Partition.Groups) {
+		t.Error("restored partition groups differ from original")
+	}
+
+	st1, st2 := s1.Stats(), s2.Stats()
+	if st1.Accepted != st2.Accepted || st1.Dropped != st2.Dropped {
+		t.Errorf("ingest stats differ: %+v vs %+v", st1, st2)
+	}
+	if st1.Checkpoints != 1 || st2.Checkpoints != 1 {
+		t.Errorf("checkpoint counters = %d, %d, want 1, 1", st1.Checkpoints, st2.Checkpoints)
+	}
+}
+
+func TestRestoreRejectsCorruption(t *testing.T) {
+	s1, err := New(testBounds(), 4, 4, ckptAttrs(), Options{Threshold: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckptFill(t, s1, 120, 3)
+	var buf bytes.Buffer
+	if err := s1.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	mutate := func(off int, b byte) []byte {
+		cp := append([]byte(nil), good...)
+		cp[off] ^= b
+		return cp
+	}
+	cases := map[string][]byte{
+		"empty":             nil,
+		"bad magic":         mutate(0, 0xff),
+		"bad version":       mutate(8, 0x01),
+		"truncated header":  good[:10],
+		"truncated payload": good[:len(good)/2],
+		"flipped payload":   mutate(40, 0x01), // CRC mismatch
+		"flipped crc":       mutate(len(good)-1, 0x01),
+	}
+	for name, data := range cases {
+		s2, err := New(testBounds(), 4, 4, ckptAttrs(), Options{Threshold: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s2.Add(grid.Record{Lat: 1, Lon: 1, Values: []float64{1, 2, 0}}); err != nil {
+			t.Fatal(err)
+		}
+		rerr := s2.Restore(bytes.NewReader(data))
+		if rerr == nil {
+			t.Errorf("%s: Restore accepted corrupt input", name)
+			continue
+		}
+		if !errors.Is(rerr, ErrCheckpoint) {
+			t.Errorf("%s: error %v does not wrap ErrCheckpoint", name, rerr)
+		}
+		if st := s2.Stats(); st.Accepted != 1 {
+			t.Errorf("%s: failed Restore mutated the receiver: %+v", name, st)
+		}
+	}
+}
+
+func TestRestoreRejectsMismatchedReceiver(t *testing.T) {
+	s1, err := New(testBounds(), 4, 4, ckptAttrs(), Options{Threshold: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckptFill(t, s1, 60, 5)
+	var buf bytes.Buffer
+	if err := s1.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	otherAttrs := ckptAttrs()
+	otherAttrs[1].Name = "price"
+	cases := []struct {
+		name   string
+		bounds grid.Bounds
+		rows   int
+		attrs  []grid.Attribute
+	}{
+		{"geometry", testBounds(), 5, ckptAttrs()},
+		{"bounds", grid.Bounds{MinLat: 0, MaxLat: 20, MinLon: 0, MaxLon: 10}, 4, ckptAttrs()},
+		{"attrs", testBounds(), 4, otherAttrs},
+	}
+	for _, tc := range cases {
+		s2, err := New(tc.bounds, tc.rows, 4, tc.attrs, Options{Threshold: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rerr := s2.Restore(bytes.NewReader(buf.Bytes()))
+		if rerr == nil {
+			t.Errorf("%s: Restore accepted a mismatched checkpoint", tc.name)
+			continue
+		}
+		if !errors.Is(rerr, ErrCheckpoint) {
+			t.Errorf("%s: error %v does not wrap ErrCheckpoint", tc.name, rerr)
+		}
+	}
+}
+
+func TestCheckpointRestoreFaultPoints(t *testing.T) {
+	inj := fault.New(1)
+	inj.Set("stream.checkpoint", fault.Plan{Count: 1})
+	inj.Set("stream.restore", fault.Plan{Count: 1})
+	s, err := New(testBounds(), 4, 4, ckptAttrs(), Options{Threshold: 0.2, Fault: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckptFill(t, s, 40, 2)
+
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("Checkpoint error = %v, want injected", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("failed Checkpoint wrote %d bytes", buf.Len())
+	}
+	if err := s.Checkpoint(&buf); err != nil { // plan exhausted
+		t.Fatal(err)
+	}
+	if err := s.Restore(bytes.NewReader(buf.Bytes())); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("Restore error = %v, want injected", err)
+	}
+	if err := s.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentAddCurrentCheckpoint races ingestion, serving, and
+// checkpointing; the final checkpoint must restore cleanly. Run with -race.
+func TestConcurrentAddCurrentCheckpoint(t *testing.T) {
+	opts := Options{Threshold: 0.25, MinRecordsBetweenChecks: 10}
+	s, err := New(testBounds(), 8, 8, ckptAttrs(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckptFill(t, s, 100, 11)
+	if _, err := s.Current(); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 300; i++ {
+				rec := grid.Record{
+					Lat: rng.Float64() * 10, Lon: rng.Float64() * 10,
+					Values: []float64{1, rng.Float64() * 50, float64(rng.Intn(3))},
+				}
+				if err := s.Add(rec); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(w + 1))
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if v, err := s.Current(); err != nil {
+					t.Error(err)
+					return
+				} else if v.Repartitioned == nil {
+					t.Error("Current returned nil view after one existed")
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if err := s.Checkpoint(io.Discard); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(testBounds(), 8, 8, ckptAttrs(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	st, st2 := s.Stats(), s2.Stats()
+	if st.Accepted != 100+4*300 {
+		t.Errorf("accepted = %d, want %d", st.Accepted, 100+4*300)
+	}
+	if st2.Accepted != st.Accepted || st2.Dropped != st.Dropped {
+		t.Errorf("restored ingest stats %+v differ from %+v", st2, st)
+	}
+	if _, err := s2.Current(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzRestore asserts the decode contract: arbitrary bytes either restore or
+// return an error — never panic, never corrupt the receiver into a state
+// Stats/Grid cannot serve.
+func FuzzRestore(f *testing.F) {
+	s1, err := New(testBounds(), 3, 3, ckptAttrs(), Options{Threshold: 0.2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		v := float64(i % 4)
+		if err := s1.Add(grid.Record{Lat: float64(i%10) + 0.5, Lon: float64((i * 3) % 10), Values: []float64{1, float64(i), v}}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s1.Checkpoint(&buf); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.Bytes()
+	f.Add(good)
+	f.Add(good[:len(good)-3])
+	f.Add(good[:12])
+	f.Add([]byte{})
+	f.Add([]byte("SPRTCKPT"))
+	mut := append([]byte(nil), good...)
+	mut[len(mut)/2] ^= 0x40
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := New(testBounds(), 3, 3, ckptAttrs(), Options{Threshold: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rerr := s.Restore(bytes.NewReader(data)); rerr != nil {
+			if !errors.Is(rerr, ErrCheckpoint) {
+				t.Fatalf("Restore error %v does not wrap ErrCheckpoint", rerr)
+			}
+			return
+		}
+		// A restore that succeeded must leave a state the accessors can
+		// serve without panicking.
+		_ = s.Stats()
+		_ = s.Grid()
+	})
+}

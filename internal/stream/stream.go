@@ -6,9 +6,17 @@
 // freshest data keeps the information loss within the threshold, and a full
 // re-partitioning runs only when the stream has drifted past that bound.
 // Between recomputations readers pay only the (cheap) feature re-allocation.
+//
+// Serving is fault tolerant (DESIGN.md §3.16): once any view exists, Current
+// never returns an error — a failed, panicking, or deadline-overrunning
+// recompute falls back to the last good view flagged Degraded, retries are
+// scheduled with capped exponential backoff and deterministic jitter, and a
+// circuit breaker stops a persistently failing grid from burning CPU. The
+// aggregate state survives restarts via Checkpoint/Restore.
 package stream
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -17,8 +25,17 @@ import (
 	"time"
 
 	"spatialrepart/internal/core"
+	"spatialrepart/internal/fault"
 	"spatialrepart/internal/grid"
 	"spatialrepart/internal/obs"
+)
+
+// Defaults for the retry/backoff and circuit-breaker policy (Options fields
+// left zero).
+const (
+	DefaultFailureThreshold = 3
+	DefaultInitialBackoff   = 100 * time.Millisecond
+	DefaultMaxBackoff       = 30 * time.Second
 )
 
 // Options configures a Repartitioner.
@@ -35,11 +52,34 @@ type Options struct {
 	// (0 = GOMAXPROCS); passed through to core.Options.Workers.
 	Workers int
 	// Obs, when non-nil, receives the stream's metrics: ingestion counters,
-	// refresh/recompute latencies, the served generation, and the record lag
-	// behind the served view. Forwarded to core.Options.Obs, so full
-	// recompute phase timings land in the same registry. Nil disables all
-	// instrumentation at the cost of one branch per hook.
+	// refresh/recompute latencies, the served generation, the record lag
+	// behind the served view, and the breaker/degraded-serving state.
+	// Forwarded to core.Options.Obs, so full recompute phase timings land in
+	// the same registry. Nil disables all instrumentation at the cost of one
+	// branch per hook.
 	Obs *obs.Observer
+
+	// RecomputeTimeout bounds one full recompute: on expiry the attempt is
+	// abandoned (core.RepartitionCtx observes the deadline within one rung)
+	// and handled like any other failure. 0 = no deadline.
+	RecomputeTimeout time.Duration
+	// FailureThreshold is the number of CONSECUTIVE failed attempts after
+	// which the circuit breaker opens (≤ 0 = DefaultFailureThreshold).
+	FailureThreshold int
+	// InitialBackoff is the retry delay after the first failure; each
+	// further consecutive failure doubles it up to MaxBackoff. Zero values
+	// take the defaults.
+	InitialBackoff time.Duration
+	MaxBackoff     time.Duration
+	// JitterSeed seeds the deterministic backoff jitter (0 = a fixed
+	// default), so a fleet of streams can be de-synchronized while any
+	// single stream's retry schedule stays reproducible.
+	JitterSeed int64
+
+	// Fault, when non-nil, is consulted at the stream's named injection
+	// points ("stream.recompute", "stream.checkpoint", "stream.restore") —
+	// the chaos-testing hook. Nil costs one branch per point.
+	Fault *fault.Injector
 }
 
 // Stats reports the stream's bookkeeping counters.
@@ -49,12 +89,42 @@ type Stats struct {
 	Recomputes int // full re-partitionings performed
 	Refreshes  int // cheap feature-only refreshes that kept the partition
 
-	// RecomputeFailures counts full re-partitionings that returned an
-	// error; LastRecomputeErr retains the most recent one. Without these a
-	// failure was visible only to the single Current caller that hit it —
-	// every later caller (and any monitoring) saw a healthy stream.
+	// RecomputeFailures counts attempts (refresh or full recompute) that
+	// failed — error, injected fault, panic, or deadline; LastRecomputeErr
+	// retains the most recent failure. Without these a failure was visible
+	// only to the single Current caller that hit it.
 	RecomputeFailures int
 	LastRecomputeErr  error
+
+	// DegradedServes counts Current calls that fell back to the last-good
+	// view (failure, open breaker, or backoff window).
+	DegradedServes int
+	// Breaker is the circuit breaker's current state; BreakerOpens counts
+	// closed→open transitions; ConsecutiveFailures is the current failure
+	// streak (reset by any success).
+	Breaker             BreakerState
+	BreakerOpens        int
+	ConsecutiveFailures int
+	// StaleRecords is the number of ingested records not yet reflected in
+	// the served view — the staleness bound a degraded serve is subject to.
+	StaleRecords int
+	// Checkpoints counts successful Checkpoint writes.
+	Checkpoints int
+}
+
+// View is one served partition plus its serving metadata. The embedded
+// dataset is immutable once served; Degraded marks a view served past a
+// failed or skipped refresh (its staleness is bounded by Stats.StaleRecords
+// at serve time). Views are plain comparable values.
+type View struct {
+	*core.Repartitioned
+	// Degraded is true when the view was served although the stream knows
+	// fresher records exist that it could not fold in (recompute failed, the
+	// breaker is open, or a retry is still backing off).
+	Degraded bool
+	// Generation identifies the install that produced the view; it bumps on
+	// every successful refresh or recompute.
+	Generation int
 }
 
 // Repartitioner maintains a re-partitioned view over a streaming grid. It is
@@ -62,7 +132,7 @@ type Stats struct {
 // while the expensive refresh/recompute work in Current runs on a snapshot
 // OUTSIDE that lock, so ingestion is never stalled behind a re-partitioning.
 type Repartitioner struct {
-	mu     sync.Mutex // guards aggregates, current, sinceLastCheck, stats
+	mu     sync.Mutex // guards aggregates, current, sinceLastCheck, stats, breaker
 	bounds grid.Bounds
 	rows   int
 	cols   int
@@ -78,6 +148,11 @@ type Repartitioner struct {
 	generation     int // bumped on every refresh/recompute swap-in
 	sinceLastCheck int
 	stats          Stats
+	breaker        *breaker
+
+	// now is the breaker's clock; a test hook (replaced only before any
+	// concurrency starts).
+	now func() time.Time
 
 	// computeMu serializes the out-of-lock refresh/recompute work so
 	// concurrent Current calls do not duplicate a full re-partitioning.
@@ -96,6 +171,9 @@ func New(bounds grid.Bounds, rows, cols int, attrs []grid.Attribute, opts Option
 	if rows <= 0 || cols <= 0 {
 		return nil, fmt.Errorf("stream: invalid grid %dx%d", rows, cols)
 	}
+	if err := bounds.Validate(); err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
 	if opts.Threshold < 0 || opts.Threshold > 1 {
 		return nil, fmt.Errorf("stream: threshold %v outside [0,1]", opts.Threshold)
 	}
@@ -104,14 +182,35 @@ func New(bounds grid.Bounds, rows, cols int, attrs []grid.Attribute, opts Option
 	}
 	a := make([]grid.Attribute, len(attrs))
 	copy(a, attrs)
+	threshold := opts.FailureThreshold
+	if threshold <= 0 {
+		threshold = DefaultFailureThreshold
+	}
+	initial := opts.InitialBackoff
+	if initial <= 0 {
+		initial = DefaultInitialBackoff
+	}
+	max := opts.MaxBackoff
+	if max <= 0 {
+		max = DefaultMaxBackoff
+	}
+	if max < initial {
+		max = initial
+	}
+	seed := opts.JitterSeed
+	if seed == 0 {
+		seed = 1
+	}
 	s := &Repartitioner{
-		bounds: bounds,
-		rows:   rows,
-		cols:   cols,
-		attrs:  a,
-		opts:   opts,
-		counts: make([]int, rows*cols),
-		sums:   make([]float64, rows*cols*len(attrs)),
+		bounds:  bounds,
+		rows:    rows,
+		cols:    cols,
+		attrs:   a,
+		opts:    opts,
+		counts:  make([]int, rows*cols),
+		sums:    make([]float64, rows*cols*len(attrs)),
+		breaker: newBreaker(threshold, initial, max, seed),
+		now:     time.Now,
 	}
 	for k, at := range a {
 		if at.Categorical {
@@ -187,9 +286,17 @@ func (s *Repartitioner) snapshotGrid() *grid.Grid {
 }
 
 // Current returns a re-partitioned view whose information loss against the
-// freshest aggregates is within the threshold. It retains the previous
-// partition when a feature-only refresh suffices, and re-partitions from
+// freshest aggregates is within the threshold, retaining the previous
+// partition when a feature-only refresh suffices and re-partitioning from
 // scratch otherwise.
+//
+// Failure policy: once any view exists, Current never returns an error. A
+// failed attempt (error, injected fault, panic, or RecomputeTimeout expiry)
+// serves the last good view flagged Degraded, schedules the next attempt
+// with capped exponential backoff, and — after FailureThreshold consecutive
+// failures — opens the circuit breaker so no further work is attempted until
+// a half-open probe succeeds. Only a stream that has never produced a view
+// surfaces the error directly.
 //
 // The aggregate lock is held only long enough to snapshot the aggregates and
 // to swap the finished result in: concurrent Add calls keep ingesting while
@@ -197,12 +304,12 @@ func (s *Repartitioner) snapshotGrid() *grid.Grid {
 // a separate lock so a recompute is never duplicated; a caller that queued
 // behind another goroutine's recompute serves that (fresher) result instead
 // of starting its own.
-func (s *Repartitioner) Current() (*core.Repartitioned, error) {
+func (s *Repartitioner) Current() (View, error) {
 	s.mu.Lock()
 	if s.current != nil && s.sinceLastCheck < s.opts.MinRecordsBetweenChecks {
-		cur := s.current
+		v := s.viewLocked(false)
 		s.mu.Unlock()
-		return cur, nil
+		return v, nil
 	}
 	gen := s.generation
 	s.mu.Unlock()
@@ -215,40 +322,97 @@ func (s *Repartitioner) Current() (*core.Repartitioned, error) {
 	if s.generation != gen && s.current != nil {
 		// Another goroutine swapped a view in while we waited: it was
 		// computed from aggregates at least as fresh as our call.
-		cur := s.current
+		v := s.viewLocked(false)
 		s.mu.Unlock()
-		return cur, nil
+		return v, nil
 	}
+	// Retry/backoff and breaker gate. With a last-good view to fall back
+	// on, an attempt inside the backoff window (or with the breaker open)
+	// is skipped and the stale view is served flagged Degraded; with no
+	// view there is nothing to serve, so the attempt always proceeds.
+	if s.current != nil && !s.breaker.allow(s.now()) {
+		v := s.degradedLocked()
+		s.mu.Unlock()
+		return v, nil
+	}
+	probing := s.breaker.state == BreakerHalfOpen
 	g := s.snapshotGrid()
 	cur := s.current
 	snapshotted := s.sinceLastCheck
 	s.mu.Unlock()
 
+	if probing {
+		s.opts.Obs.Count("stream.breaker_probes", 1)
+	}
 	if s.beforeCompute != nil {
 		s.beforeCompute()
 	}
 
+	rp, recompute, err := s.attempt(g, cur)
+	if err != nil {
+		s.opts.Obs.Count("stream.recompute_failures", 1)
+		s.mu.Lock()
+		s.stats.RecomputeFailures++
+		s.stats.LastRecomputeErr = err
+		opensBefore := s.breaker.opens
+		s.breaker.failure(s.now())
+		if s.breaker.opens != opensBefore {
+			s.opts.Obs.Count("stream.breaker_opens", 1)
+		}
+		s.breakerObsLocked()
+		if s.current != nil {
+			v := s.degradedLocked()
+			s.mu.Unlock()
+			return v, nil
+		}
+		s.mu.Unlock()
+		return View{}, err
+	}
+	return s.install(rp, snapshotted, recompute), nil
+}
+
+// attempt runs one refresh-or-recompute on the snapshotted grid, outside all
+// locks. It converts panics (a poisoned grid, an injected chaos panic) into
+// errors so a failing recompute can never take the serving path down with it.
+func (s *Repartitioner) attempt(g *grid.Grid, cur *core.Repartitioned) (rp *core.Repartitioned, recompute bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.opts.Obs.Count("stream.recompute_panics", 1)
+			rp, recompute = nil, false
+			err = fmt.Errorf("stream: recompute panicked: %v", r)
+		}
+	}()
+
 	if cur != nil && compatiblePartition(g, cur.Partition) {
 		sp := s.opts.Obs.StartSpan("stream.refresh")
-		feats := core.AllocateFeaturesParallel(g, cur.Partition, s.opts.Workers) //spatialvet:ignore lockcall computeMu exists to serialize recomputes; the ingestion lock s.mu is already released
+		feats := core.AllocateFeaturesParallel(g, cur.Partition, s.opts.Workers)
 		ifl := core.IFLParallel(g, cur.Partition, feats, s.opts.Workers)
 		sp.End()
 		if ifl <= s.opts.Threshold {
-			rp := &core.Repartitioned{
+			return &core.Repartitioned{
 				Source:          g,
 				Partition:       cur.Partition,
 				Features:        feats,
 				IFL:             ifl,
 				MinAdjVariation: cur.MinAdjVariation,
-			}
-			s.install(rp, snapshotted, false)
-			return rp, nil
+			}, false, nil
 		}
+	}
+
+	// The deadline context is created before the fault hook so an injected
+	// delay consumes the budget exactly like a slow real recompute would.
+	ctx := context.Background()
+	cancel := func() {}
+	if s.opts.RecomputeTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.opts.RecomputeTimeout)
+	}
+	defer cancel()
+	if ferr := s.opts.Fault.Hit("stream.recompute"); ferr != nil {
+		return nil, false, fmt.Errorf("stream: recompute: %w", ferr)
 	}
 	sp := s.opts.Obs.StartSpan("stream.recompute")
 	start := time.Now()
-	//spatialvet:ignore lockcall computeMu exists to serialize recomputes; the ingestion lock s.mu is already released
-	rp, err := core.Repartition(g, core.Options{
+	rp, err = core.RepartitionCtx(ctx, g, core.Options{
 		Threshold: s.opts.Threshold,
 		Schedule:  s.opts.Schedule,
 		Workers:   s.opts.Workers,
@@ -257,28 +421,24 @@ func (s *Repartitioner) Current() (*core.Repartitioned, error) {
 	sp.End()
 	s.opts.Obs.SetGauge("stream.last_recompute_ns", float64(time.Since(start).Nanoseconds()))
 	if err != nil {
-		// Without this bookkeeping the failure would be visible only to
-		// this one caller: the served view silently stays stale.
-		s.opts.Obs.Count("stream.recompute_failures", 1)
-		s.mu.Lock()
-		s.stats.RecomputeFailures++
-		s.stats.LastRecomputeErr = err
-		s.mu.Unlock()
-		return nil, err
+		return nil, false, err
 	}
-	s.install(rp, snapshotted, true)
-	return rp, nil
+	return rp, true, nil
 }
 
-// install swaps a freshly computed view in under the aggregate lock. Records
-// that arrived while the computation ran are not reflected in the snapshot,
-// so only the snapshotted portion of the staleness counter is consumed.
-func (s *Repartitioner) install(rp *core.Repartitioned, snapshotted int, recompute bool) {
+// install swaps a freshly computed view in under the aggregate lock and
+// returns it. Records that arrived while the computation ran are not
+// reflected in the snapshot, so only the snapshotted portion of the
+// staleness counter is consumed. Any successful install closes the breaker
+// and resets the retry schedule.
+func (s *Repartitioner) install(rp *core.Repartitioned, snapshotted int, recompute bool) View {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.current = rp
 	s.generation++
 	s.sinceLastCheck -= snapshotted
+	s.breaker.success()
+	s.breakerObsLocked()
 	if recompute {
 		s.stats.Recomputes++
 		s.opts.Obs.Count("stream.recomputes", 1)
@@ -290,6 +450,28 @@ func (s *Repartitioner) install(rp *core.Repartitioned, snapshotted int, recompu
 	s.opts.Obs.SetGauge("stream.lag_records", float64(s.sinceLastCheck))
 	s.opts.Obs.SetGauge("stream.served_groups", float64(rp.NumGroups()))
 	s.opts.Obs.SetGauge("stream.served_ifl", rp.IFL)
+	return s.viewLocked(false)
+}
+
+// viewLocked wraps the current dataset as a View. Caller holds s.mu.
+func (s *Repartitioner) viewLocked(degraded bool) View {
+	return View{Repartitioned: s.current, Degraded: degraded, Generation: s.generation}
+}
+
+// degradedLocked records and returns a degraded serve of the last-good view.
+// Caller holds s.mu and has checked s.current != nil.
+func (s *Repartitioner) degradedLocked() View {
+	s.stats.DegradedServes++
+	s.opts.Obs.Count("stream.degraded_serves", 1)
+	s.opts.Obs.SetGauge("stream.stale_records", float64(s.sinceLastCheck))
+	return s.viewLocked(true)
+}
+
+// breakerObsLocked publishes the breaker gauges. Caller holds s.mu.
+func (s *Repartitioner) breakerObsLocked() {
+	s.opts.Obs.SetGauge("stream.breaker_state", float64(s.breaker.state))
+	s.opts.Obs.SetGauge("stream.consecutive_failures", float64(s.breaker.consecutive))
+	s.opts.Obs.SetGauge("stream.retry_backoff_ns", float64(s.breaker.backoff.Nanoseconds()))
 }
 
 // compatiblePartition reports whether the old partition's null structure
@@ -312,7 +494,12 @@ func compatiblePartition(g *grid.Grid, p *core.Partition) bool {
 func (s *Repartitioner) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	st.Breaker = s.breaker.state
+	st.BreakerOpens = s.breaker.opens
+	st.ConsecutiveFailures = s.breaker.consecutive
+	st.StaleRecords = s.sinceLastCheck
+	return st
 }
 
 // Grid returns a snapshot of the current aggregate grid.
@@ -353,6 +540,13 @@ type Report struct {
 	RecomputeFailures int    `json:"recompute_failures"`
 	LastRecomputeErr  string `json:"last_recompute_err,omitempty"`
 
+	DegradedServes      int    `json:"degraded_serves"`
+	BreakerState        string `json:"breaker_state"`
+	BreakerOpens        int    `json:"breaker_opens"`
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+	StaleRecords        int    `json:"stale_records"`
+	Checkpoints         int    `json:"checkpoints"`
+
 	ServedGroups int     `json:"served_groups"`
 	ServedIFL    float64 `json:"served_ifl"`
 
@@ -363,18 +557,24 @@ type Report struct {
 func (s *Repartitioner) Report() Report {
 	s.mu.Lock()
 	r := Report{
-		Rows:              s.rows,
-		Cols:              s.cols,
-		Attrs:             len(s.attrs),
-		Threshold:         s.opts.Threshold,
-		Workers:           s.opts.Workers,
-		Generation:        s.generation,
-		LagRecords:        s.sinceLastCheck,
-		Accepted:          s.stats.Accepted,
-		Dropped:           s.stats.Dropped,
-		Recomputes:        s.stats.Recomputes,
-		Refreshes:         s.stats.Refreshes,
-		RecomputeFailures: s.stats.RecomputeFailures,
+		Rows:                s.rows,
+		Cols:                s.cols,
+		Attrs:               len(s.attrs),
+		Threshold:           s.opts.Threshold,
+		Workers:             s.opts.Workers,
+		Generation:          s.generation,
+		LagRecords:          s.sinceLastCheck,
+		Accepted:            s.stats.Accepted,
+		Dropped:             s.stats.Dropped,
+		Recomputes:          s.stats.Recomputes,
+		Refreshes:           s.stats.Refreshes,
+		RecomputeFailures:   s.stats.RecomputeFailures,
+		DegradedServes:      s.stats.DegradedServes,
+		BreakerState:        s.breaker.state.String(),
+		BreakerOpens:        s.breaker.opens,
+		ConsecutiveFailures: s.breaker.consecutive,
+		StaleRecords:        s.sinceLastCheck,
+		Checkpoints:         s.stats.Checkpoints,
 	}
 	if s.stats.LastRecomputeErr != nil {
 		r.LastRecomputeErr = s.stats.LastRecomputeErr.Error()

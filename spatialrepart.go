@@ -17,6 +17,7 @@
 package spatialrepart
 
 import (
+	"context"
 	"io"
 
 	"spatialrepart/internal/core"
@@ -117,6 +118,19 @@ func ReadGridCSV(r io.Reader) (*Grid, error) {
 // within Options.Threshold.
 func Repartition(g *Grid, opts Options) (*Repartitioned, error) {
 	return core.Repartition(g, opts)
+}
+
+// ErrCanceled is returned (wrapped around the context's own error) when a
+// context-aware run is canceled or exceeds its deadline. Test with
+// errors.Is(err, spatialrepart.ErrCanceled).
+var ErrCanceled = core.ErrCanceled
+
+// RepartitionCtx is Repartition observing ctx: cancellation and deadlines are
+// honored at rung boundaries and between parallel evaluation batches, so a
+// long climb stops within one rung of the signal. When ctx is never canceled
+// the result is byte-identical to Repartition's.
+func RepartitionCtx(ctx context.Context, g *Grid, opts Options) (*Repartitioned, error) {
+	return core.RepartitionCtx(ctx, g, opts)
 }
 
 // NewObserver returns an enabled Observer with a fresh metrics registry.

@@ -2,6 +2,8 @@ package spatialrepart_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"testing"
 
 	"spatialrepart"
@@ -121,5 +123,26 @@ func TestFacadeGridTrainingData(t *testing.T) {
 	}
 	if data.Len() != 16 {
 		t.Errorf("instances = %d, want 16", data.Len())
+	}
+}
+
+func TestFacadeRepartitionCtx(t *testing.T) {
+	g := buildGrid(t)
+	rp, err := spatialrepart.RepartitionCtx(context.Background(), g, spatialrepart.Options{Threshold: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := spatialrepart.Repartition(g, spatialrepart.Options{Threshold: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.NumGroups() != plain.NumGroups() || rp.Iterations != plain.Iterations {
+		t.Error("context-aware run diverged from plain Repartition")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := spatialrepart.RepartitionCtx(ctx, g, spatialrepart.Options{Threshold: 0.1}); !errors.Is(err, spatialrepart.ErrCanceled) {
+		t.Errorf("pre-canceled run: err = %v, want ErrCanceled", err)
 	}
 }
