@@ -22,6 +22,13 @@
 //	       -stream-rows 32 -stream-cols 32 -bounds 40,41,-74,-73 \
 //	       -threshold 0.05 [-checkpoint state.ckpt] [-checkpoint-every 10000] \
 //	       [-out reduced.csv] [-report stream.json] [...]
+//
+// Serve mode (-serve, streaming only) keeps the process alive after ingest,
+// exposing the current view over a load-shedding HTTP front end (/healthz,
+// /readyz, /view, /group, /cell, /stats) until SIGTERM/SIGINT, then drains
+// in-flight requests gracefully within -drain-timeout:
+//
+//	repart -stream-records points.csv ... -serve :8080 [-drain-timeout 10s]
 package main
 
 import (
@@ -61,6 +68,8 @@ func main() {
 	streamCols := flag.Int("stream-cols", 32, "streaming mode: grid columns")
 	checkpoint := flag.String("checkpoint", "", "streaming mode: state file — restored at start if present, written atomically at exit")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "streaming mode: additionally checkpoint every n ingested records (0 = final only)")
+	serveAddr := flag.String("serve", "", "streaming mode: after ingest, serve the current view over HTTP on this address until SIGTERM/SIGINT")
+	drainTimeout := flag.Duration("drain-timeout", defaultDrainTimeout, "serve mode: graceful drain deadline on shutdown")
 	flag.Parse()
 
 	if *version {
@@ -93,9 +102,12 @@ func main() {
 			out: *out, groupsOut: *groupsOut, adjOut: *adjOut, geoOut: *geoOut,
 			partOut: *partOut, reportOut: *reportOut,
 			stats: *stats, render: *doRender, obsv: obsv,
+			serveAddr: *serveAddr, drainTimeout: *drainTimeout, logger: logger,
 		})
 	} else if *checkpoint != "" || *checkpointEvery != 0 {
 		err = fmt.Errorf("-checkpoint/-checkpoint-every require -stream-records")
+	} else if *serveAddr != "" {
+		err = fmt.Errorf("-serve requires -stream-records (the served view comes from streaming ingest)")
 	} else {
 		err = run(runConfig{
 			in: *in, out: *out, groupsOut: *groupsOut, adjOut: *adjOut, geoOut: *geoOut,

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"spatialrepart"
+	"spatialrepart/internal/server"
+	"spatialrepart/internal/stream"
+)
+
+// defaultDrainTimeout bounds the graceful drain when -drain-timeout is unset.
+const defaultDrainTimeout = 10 * time.Second
+
+// serveView runs the load-shedding HTTP front end (internal/server) over the
+// streaming repartitioner: bind addr, report the bound address through ready,
+// then block until stop fires and drain gracefully within drainTimeout.
+// Signal plumbing lives in the caller so tests can drive stop directly.
+func serveView(src *stream.Repartitioner, addr string, drainTimeout time.Duration,
+	obsv *spatialrepart.Observer, logger *slog.Logger, ready func(addr string), stop <-chan struct{}) error {
+	if drainTimeout <= 0 {
+		drainTimeout = defaultDrainTimeout
+	}
+	srv, err := server.New(server.Config{Source: src, Obs: obsv})
+	if err != nil {
+		return err
+	}
+	bound, err := srv.Serve(addr)
+	if err != nil {
+		return err
+	}
+	logger.Info("serving repartitioned view", "addr", bound, "drain_timeout", drainTimeout)
+	if ready != nil {
+		ready(bound)
+	}
+	<-stop
+
+	logger.Info("drain started", "timeout", drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	logger.Info("drain complete")
+	return nil
+}
+
+// signalChannel returns a channel closed on the first SIGTERM or SIGINT —
+// the serve mode's shutdown trigger.
+func signalChannel() <-chan struct{} {
+	stop := make(chan struct{})
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, os.Interrupt)
+	go func() {
+		<-sigs
+		close(stop)
+	}()
+	return stop
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestServeViewEndToEnd runs the full serve mode in-process: stream ingest,
+// HTTP serving of the computed view, then a driven stop standing in for
+// SIGTERM — asserting clean drain and listener closure.
+func TestServeViewEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	records := writeTestRecords(t, dir, "points.csv", 400)
+
+	stop := make(chan struct{})
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- runStream(streamConfig{
+			records: records, attrsSpec: "count:sum:int,price:avg",
+			rows: 8, cols: 8, bbox: "0,10,0,10",
+			threshold: 0.15, schedule: "geometric",
+			serveAddr:    "127.0.0.1:0",
+			drainTimeout: 5 * time.Second,
+			logger:       slog.New(slog.NewTextHandler(io.Discard, nil)),
+			serveReady:   func(a string) { addrCh <- a },
+			serveStop:    stop,
+		})
+	}()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("runStream exited before serving: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := "http://" + addr
+
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(base + "/view")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view struct {
+		Generation int  `json:"generation"`
+		Degraded   bool `json:"degraded"`
+		Groups     int  `json:"groups"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || view.Groups == 0 || view.Degraded {
+		t.Fatalf("view = %d %+v", resp.StatusCode, view)
+	}
+
+	resp, err = http.Get(base + "/group?id=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /group?id=0 = %d", resp.StatusCode)
+	}
+
+	// Stop: the drain must finish well within its deadline and close the
+	// listener.
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve mode exited with: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain did not complete within the deadline")
+	}
+	if conn, err := net.DialTimeout("tcp", addr, time.Second); err == nil {
+		conn.Close()
+		t.Error("listener still accepting after drain")
+	}
+}
+
+// TestServeRequiresStreamMode pins the flag contract: -serve without
+// -stream-records is a configuration error, reported before any work.
+func TestServeRequiresStreamMode(t *testing.T) {
+	// The validation lives in main's flag dispatch; replicate its check
+	// against runStream's contract: an empty records path must fail fast.
+	err := runStream(streamConfig{
+		attrsSpec: "count:sum", rows: 4, cols: 4, bbox: "0,1,0,1",
+		threshold: 0.1, schedule: "geometric", serveAddr: "127.0.0.1:0",
+	})
+	if err == nil {
+		t.Fatal("runStream with no records accepted")
+	}
+}

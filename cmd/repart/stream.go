@@ -2,8 +2,10 @@ package main
 
 import (
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
+	"time"
 
 	"spatialrepart"
 	"spatialrepart/internal/grid"
@@ -28,6 +30,14 @@ type streamConfig struct {
 	out, groupsOut, adjOut, geoOut, partOut, reportOut string
 	stats, render                                      bool
 	obsv                                               *spatialrepart.Observer
+
+	// serveAddr, when non-empty, keeps the process alive after ingest,
+	// serving the current view over HTTP (internal/server) until stop.
+	serveAddr    string
+	drainTimeout time.Duration
+	logger       *slog.Logger      // defaults to a stderr text logger
+	serveReady   func(addr string) // test hook: receives the bound address
+	serveStop    <-chan struct{}   // test hook: nil means SIGTERM/SIGINT
 }
 
 // parseStreamAttrs parses the -stream-attrs spec: comma-separated attributes,
@@ -164,7 +174,21 @@ func runStream(cfg streamConfig) error {
 			return fmt.Errorf("writing stream report: %w", err)
 		}
 	}
-	return writeStreamOutputs(cfg, v.Repartitioned, bounds)
+	if err := writeStreamOutputs(cfg, v.Repartitioned, bounds); err != nil {
+		return err
+	}
+	if cfg.serveAddr == "" {
+		return nil
+	}
+	logger := cfg.logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	stop := cfg.serveStop
+	if stop == nil {
+		stop = signalChannel()
+	}
+	return serveView(s, cfg.serveAddr, cfg.drainTimeout, cfg.obsv, logger, cfg.serveReady, stop)
 }
 
 // writeStreamOutputs routes the served partition through the batch-mode

@@ -45,12 +45,13 @@ func TestReadRecordsCSV(t *testing.T) {
 
 func TestScanRecordsCSVErrors(t *testing.T) {
 	cases := map[string]string{
-		"empty":     "",
-		"bad lat":   "lat,lon,v\nx,1,2\n",
-		"bad lon":   "lat,lon,v\n1,x,2\n",
-		"bad value": "lat,lon,v\n1,2,x\n",
-		"short row": "lat,lon,v\n1,2\n",
-		"long row":  "lat,lon,v\n1,2,3,4\n",
+		"empty":      "",
+		"bad lat":    "lat,lon,v\nx,1,2\n",
+		"bad lon":    "lat,lon,v\n1,x,2\n",
+		"bad value":  "lat,lon,v\n1,2,x\n",
+		"short row":  "lat,lon,v\n1,2\n",
+		"long row":   "lat,lon,v\n1,2,3,4\n",
+		"bad header": "lat,lon\n1,2,3\n",
 	}
 	for name, in := range cases {
 		if err := ScanRecordsCSV(strings.NewReader(in), 1, func(Record) error { return nil }); err == nil {
@@ -59,6 +60,52 @@ func TestScanRecordsCSVErrors(t *testing.T) {
 	}
 	if err := ScanRecordsCSV(strings.NewReader("lat,lon\n"), -1, func(Record) error { return nil }); err == nil {
 		t.Error("negative nattrs: want error")
+	}
+}
+
+// TestScanRecordsCSVErrorDetail pins the diagnostic contract: arity errors
+// carry the 1-based record index and the observed vs expected field counts.
+func TestScanRecordsCSVErrorDetail(t *testing.T) {
+	const in = "lat,lon,v\n1,2,3\n4,5,6\n7,8\n"
+	err := ScanRecordsCSV(strings.NewReader(in), 1, func(Record) error { return nil })
+	if err == nil {
+		t.Fatal("want arity error")
+	}
+	for _, want := range []string{"record 3", "2 fields", "want 3"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+
+	err = ScanRecordsCSV(strings.NewReader("lat,lon,v\n1,2,3\nx,2,3\n"), 1, func(Record) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "record 2") {
+		t.Errorf("parse error %q does not carry the record index", err)
+	}
+}
+
+// TestScanRecordsCSVStripsBOM: a UTF-8 BOM on the first record must be
+// transparent — same records, and a quoted first header field still parses.
+func TestScanRecordsCSVStripsBOM(t *testing.T) {
+	const body = "\"lat\",lon,count,price\n1.5,2.5,3,40\n0,9.25,1,-2.5\n"
+	plain, err := ReadRecordsCSV(strings.NewReader(body), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bommed, err := ReadRecordsCSV(strings.NewReader("\xEF\xBB\xBF"+body), 2)
+	if err != nil {
+		t.Fatalf("BOM input rejected: %v", err)
+	}
+	if len(plain) != len(bommed) {
+		t.Fatalf("record counts differ: %d vs %d", len(plain), len(bommed))
+	}
+	for i := range plain {
+		if plain[i].Lat != bommed[i].Lat || plain[i].Lon != bommed[i].Lon {
+			t.Errorf("record %d differs: %+v vs %+v", i, plain[i], bommed[i])
+		}
+	}
+	// A BOM mid-stream is data, not a marker: it must still fail parsing.
+	if _, err := ReadRecordsCSV(strings.NewReader("lat,lon,v\n\xEF\xBB\xBF1,2,3\n"), 1); err == nil {
+		t.Error("mid-stream BOM unexpectedly accepted")
 	}
 }
 

@@ -52,28 +52,39 @@ func PublishExpvar(name string, r *Registry) {
 	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
 }
 
+// HardenedServer is the repository's one hardened http.Server constructor —
+// obs.Serve and internal/server both build on it so every listening socket
+// carries the same protection against stalled or malicious clients: header,
+// read, write, and idle timeouts plus a header size cap. The WriteTimeout is
+// generous (3 minutes) because the pprof profile/trace endpoints
+// legitimately stream for a client-chosen number of seconds; it exists to
+// bound abandoned connections, not to police handler latency (the serving
+// layer's per-request timeout does that).
+func HardenedServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      3 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
+}
+
 // Serve starts the metrics/pprof endpoint on addr (e.g. "localhost:6060" or
 // ":0") in a background goroutine and returns the server plus the bound
 // address. The registry is also published to expvar as "spatialrepart"
 // (first Serve wins), so /debug/vars carries the same snapshot. The caller
 // owns shutdown; short-lived CLIs simply let the process exit take it down.
-//
-// The server carries read and idle timeouts so a stalled or malicious client
-// cannot pin a connection (and its goroutine) forever. No WriteTimeout: the
-// pprof profile/trace endpoints legitimately stream for a client-chosen
-// number of seconds.
+// The server is a HardenedServer, so stalled clients cannot pin connections
+// (and their goroutines) forever.
 func Serve(addr string, r *Registry) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	PublishExpvar("spatialrepart", r)
-	srv := &http.Server{
-		Handler:           NewMux(r),
-		ReadHeaderTimeout: 5 * time.Second,
-		ReadTimeout:       10 * time.Second,
-		IdleTimeout:       2 * time.Minute,
-	}
+	srv := HardenedServer(NewMux(r))
 	go func() { _ = srv.Serve(ln) }() //spatialvet:ignore errdrop Serve returns ErrServerClosed on shutdown; the caller owns the server lifecycle
 	return srv, ln.Addr().String(), nil
 }

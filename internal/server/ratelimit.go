@@ -1,0 +1,147 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// maxTrackedClients bounds the per-client bucket map. When an insert would
+// exceed it, buckets that have refilled completely (idle clients) are pruned;
+// if every tracked client is still active the new client is admitted on the
+// global budget alone rather than evicting a live bucket (deterministic, and
+// the global bucket still bounds total throughput).
+const maxTrackedClients = 4096
+
+// tokenBucket is one lazily refilled token bucket. Refill happens on access:
+// the elapsed time since the last access is converted to tokens and capped at
+// the burst size.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// refill tops the bucket up for the time elapsed until now.
+func (b *tokenBucket) refill(rate, burst float64, now time.Time) {
+	if elapsed := now.Sub(b.last); elapsed > 0 {
+		b.tokens += elapsed.Seconds() * rate
+		if b.tokens > burst {
+			b.tokens = burst
+		}
+	}
+	b.last = now
+}
+
+// wait returns how long until the bucket holds one token at the given rate.
+func (b *tokenBucket) wait(rate float64) time.Duration {
+	if b.tokens >= 1 {
+		return 0
+	}
+	return time.Duration((1 - b.tokens) / rate * float64(time.Second))
+}
+
+// limiter is the serving layer's token-bucket rate limiter: one global bucket
+// bounding total request rate, plus one bucket per client (remote IP) so a
+// single aggressive client cannot starve the rest. A request is admitted only
+// when both buckets hold a token, and tokens are consumed atomically — a
+// globally rejected request does not burn the client's token or vice versa.
+type limiter struct {
+	mu sync.Mutex
+
+	rate, burst             float64 // global; rate <= 0 disables the global bucket
+	clientRate, clientBurst float64 // per-client; rate <= 0 disables per-client buckets
+
+	global  tokenBucket
+	clients map[string]*tokenBucket
+}
+
+// newLimiter builds a limiter with both buckets initially full.
+func newLimiter(rate float64, burst int, clientRate float64, clientBurst int, now time.Time) *limiter {
+	l := &limiter{
+		rate:        rate,
+		burst:       float64(burst),
+		clientRate:  clientRate,
+		clientBurst: float64(clientBurst),
+		clients:     map[string]*tokenBucket{},
+	}
+	if l.burst < 1 {
+		l.burst = 1
+	}
+	if l.clientBurst < 1 {
+		l.clientBurst = 1
+	}
+	l.global = tokenBucket{tokens: l.burst, last: now}
+	return l
+}
+
+// allow reports whether a request from client may proceed at now. On denial
+// it returns the duration after which a retry could succeed (the denying
+// bucket's refill time; the larger one when both deny).
+func (l *limiter) allow(client string, now time.Time) (bool, time.Duration) {
+	if l == nil || (l.rate <= 0 && l.clientRate <= 0) {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	globalOK := true
+	var globalWait time.Duration
+	if l.rate > 0 {
+		l.global.refill(l.rate, l.burst, now)
+		if l.global.tokens < 1 {
+			globalOK = false
+			globalWait = l.global.wait(l.rate)
+		}
+	}
+
+	clientOK := true
+	var clientWait time.Duration
+	var cb *tokenBucket
+	if l.clientRate > 0 {
+		cb = l.clients[client]
+		if cb == nil {
+			if len(l.clients) >= maxTrackedClients {
+				l.pruneLocked(now)
+			}
+			if len(l.clients) < maxTrackedClients {
+				cb = &tokenBucket{tokens: l.clientBurst, last: now}
+				l.clients[client] = cb
+			}
+			// cb == nil here means the table is full of active clients; the
+			// new client rides on the global bucket alone this round.
+		}
+		if cb != nil {
+			cb.refill(l.clientRate, l.clientBurst, now)
+			if cb.tokens < 1 {
+				clientOK = false
+				clientWait = cb.wait(l.clientRate)
+			}
+		}
+	}
+
+	if !globalOK || !clientOK {
+		wait := globalWait
+		if clientWait > wait {
+			wait = clientWait
+		}
+		return false, wait
+	}
+	if l.rate > 0 {
+		l.global.tokens--
+	}
+	if cb != nil {
+		cb.tokens--
+	}
+	return true, 0
+}
+
+// pruneLocked drops per-client buckets that have refilled to a full burst —
+// clients idle long enough that forgetting them loses no limiting state.
+// Caller holds l.mu.
+func (l *limiter) pruneLocked(now time.Time) {
+	for c, b := range l.clients {
+		b.refill(l.clientRate, l.clientBurst, now)
+		if b.tokens >= l.clientBurst {
+			delete(l.clients, c)
+		}
+	}
+}

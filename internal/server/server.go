@@ -1,0 +1,534 @@
+// Package server is the production serving layer over the streaming
+// repartitioner (DESIGN.md §3.17): a stdlib-only HTTP front end exposing the
+// current re-partitioned view, per-cell-group lookups, and run/stream stats
+// as JSON, wrapped in a full robustness envelope — admission control with a
+// bounded in-flight limit and a deadline-aware wait queue, token-bucket rate
+// limiting (global and per-client), per-request timeouts and body limits,
+// per-request panic isolation, a structured error taxonomy, liveness vs
+// readiness endpoints, and graceful drain on shutdown.
+//
+// The design premise is that PR 4's fault tolerance ends at the process
+// boundary unless the serving edge carries it the rest of the way: a
+// Degraded last-good view must still serve (flagged, with a Warning header),
+// an open circuit breaker must flip readiness so load balancers route away
+// without killing the process, and overload must shed requests in
+// microseconds with 503 + Retry-After instead of stacking goroutines. Every
+// decision (admitted, queued, shed, rate-limited, panicked, drain duration)
+// is exported through internal/obs.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"spatialrepart/internal/fault"
+	"spatialrepart/internal/obs"
+	"spatialrepart/internal/stream"
+)
+
+// Source is the serving layer's view of the streaming repartitioner.
+// *stream.Repartitioner implements it; tests substitute stubs.
+type Source interface {
+	// Current returns the freshest servable view (possibly Degraded); it
+	// errors only while no view has ever been produced.
+	Current() (stream.View, error)
+	// Stats returns the stream's counters, including the serving state
+	// (HasView, Breaker) readiness is derived from.
+	Stats() stream.Stats
+	// Report returns the stream's full machine-readable summary.
+	Report() stream.Report
+}
+
+// Config parameterizes a Server. The zero value of every field takes the
+// documented default; only Source is required.
+type Config struct {
+	// Source supplies views and stats (required).
+	Source Source
+
+	// MaxInFlight bounds concurrently executing query requests (default 64).
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an in-flight slot (default 16).
+	MaxQueue int
+	// QueueWait bounds how long a queued request waits for a slot before it
+	// is shed (default 100ms; also clipped by the request timeout).
+	QueueWait time.Duration
+	// RequestTimeout is the per-request deadline threaded through the
+	// request context (default 5s).
+	RequestTimeout time.Duration
+	// RetryAfter is the Retry-After hint attached to shed (503) responses
+	// (default 1s).
+	RetryAfter time.Duration
+
+	// RatePerSec/RateBurst configure the global token bucket (0 = no global
+	// rate limit; burst defaults to max(1, RatePerSec)).
+	RatePerSec float64
+	RateBurst  int
+	// ClientRatePerSec/ClientRateBurst configure the per-client (remote IP)
+	// buckets (0 = no per-client limit).
+	ClientRatePerSec float64
+	ClientRateBurst  int
+
+	// MaxBodyBytes caps request bodies (default 1 MiB). Query endpoints are
+	// GET-only, so this is pure abuse protection.
+	MaxBodyBytes int64
+
+	// Obs, when non-nil, receives the serving metrics. Nil disables
+	// instrumentation at the usual one-branch cost.
+	Obs *obs.Observer
+	// Fault, when non-nil, is consulted at the "server.request" injection
+	// point after admission — the overload/drain chaos hook (injected
+	// delays occupy a real in-flight slot; injected panics exercise the
+	// per-request recovery).
+	Fault *fault.Injector
+	// Clock substitutes the time source for deterministic tests (nil = real
+	// clock).
+	Clock Clock
+}
+
+// Server is the HTTP serving subsystem. Create with New, mount via Handler
+// or run with Serve, stop with Shutdown.
+type Server struct {
+	cfg   Config
+	src   Source
+	adm   *admission
+	lim   *limiter
+	clock Clock
+	obs   *obs.Observer
+	flt   *fault.Injector
+
+	draining atomic.Bool
+	httpSrv  *http.Server
+	mux      *http.ServeMux
+}
+
+// New validates cfg, applies defaults, and returns a ready-to-mount Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("server: Config.Source is required")
+	}
+	if cfg.MaxInFlight < 0 || cfg.MaxQueue < 0 {
+		return nil, fmt.Errorf("server: negative MaxInFlight/MaxQueue (%d/%d)", cfg.MaxInFlight, cfg.MaxQueue)
+	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = 64
+	}
+	if cfg.QueueWait <= 0 {
+		cfg.QueueWait = 100 * time.Millisecond
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 5 * time.Second
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 16
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = realClock{}
+	}
+	s := &Server{
+		cfg:   cfg,
+		src:   cfg.Source,
+		adm:   newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
+		lim:   newLimiter(cfg.RatePerSec, cfg.RateBurst, cfg.ClientRatePerSec, cfg.ClientRateBurst, clock.Now()),
+		clock: clock,
+		obs:   cfg.Obs,
+		flt:   cfg.Fault,
+	}
+	s.adm.onQueued = func() { s.obs.Count("server.queued", 1) }
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.probe(s.handleHealthz))
+	mux.HandleFunc("/readyz", s.probe(s.handleReadyz))
+	mux.HandleFunc("/view", s.query(s.handleView))
+	mux.HandleFunc("/group", s.query(s.handleGroup))
+	mux.HandleFunc("/cell", s.query(s.handleCell))
+	mux.HandleFunc("/stats", s.query(s.handleStats))
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler (probe endpoints unguarded,
+// query endpoints wrapped in the full robustness envelope).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve binds addr (e.g. ":8080" or "127.0.0.1:0"), starts the hardened HTTP
+// server in a background goroutine, and returns the bound address. Stop it
+// with Shutdown.
+func (s *Server) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	srv := obs.HardenedServer(s.Handler())
+	s.httpSrv = srv
+	go func() { _ = srv.Serve(ln) }() //spatialvet:ignore errdrop Serve returns ErrServerClosed on shutdown; Shutdown owns the lifecycle
+	return ln.Addr().String(), nil
+}
+
+// Shutdown drains the server gracefully: admission shuts (new requests get
+// 503 draining, queued waiters are rejected), readiness flips to not-ready,
+// every already-admitted request runs to completion, and the listener closes
+// — all within ctx's deadline. If the deadline expires with requests still
+// in flight the remaining connections are closed forcibly and the deadline
+// error is returned. The drain duration lands in the server.drain_ns gauge.
+func (s *Server) Shutdown(ctx context.Context) error {
+	start := s.clock.Now()
+	s.draining.Store(true)
+	s.obs.SetGauge("server.draining", 1)
+	s.adm.beginDrain()
+	drainErr := s.adm.awaitDrained(ctx)
+	s.obs.SetGauge("server.drain_ns", float64(s.clock.Now().Sub(start).Nanoseconds()))
+	if s.httpSrv != nil {
+		if drainErr != nil {
+			s.httpSrv.Close() //spatialvet:ignore errdrop forced close after a blown drain deadline; the deadline error is the one reported
+		} else if err := s.httpSrv.Shutdown(ctx); err != nil {
+			s.httpSrv.Close() //spatialvet:ignore errdrop forced close fallback; the Shutdown error is the one reported
+			return err
+		}
+	}
+	return drainErr
+}
+
+// handlerFunc is a query handler: it returns an error from the taxonomy (or
+// any error, mapped to 500) instead of writing statuses itself.
+type handlerFunc func(w http.ResponseWriter, r *http.Request) error
+
+// probe wraps the liveness/readiness endpoints: panic isolation and a method
+// check only — probes must keep answering while the query path sheds load,
+// so they bypass rate limiting and admission entirely.
+func (s *Server) probe(h handlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		defer s.recoverRequest(sw)
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			writeError(sw, ErrMethodNotAllowed.WithDetail("%s not allowed", r.Method))
+			return
+		}
+		if err := h(sw, r); err != nil {
+			writeError(sw, err)
+		}
+	}
+}
+
+// query wraps a handler in the full robustness envelope, outermost first:
+// panic isolation, method check, body cap, rate limiting, per-request
+// deadline, admission control, fault injection, then the handler.
+func (s *Server) query(h handlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		defer s.recoverRequest(sw)
+		s.obs.Count("server.requests", 1)
+		sp := s.obs.StartSpan("server.request")
+		defer sp.End()
+
+		if r.Method != http.MethodGet {
+			writeError(sw, ErrMethodNotAllowed.WithDetail("%s not allowed; query endpoints are GET-only", r.Method))
+			return
+		}
+		r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
+
+		if ok, wait := s.lim.allow(clientKey(r), s.clock.Now()); !ok {
+			s.obs.Count("server.rate_limited", 1)
+			writeError(sw, ErrRateLimited.
+				WithDetail("token bucket empty; retry after %v", wait).
+				withRetryAfter(wait))
+			return
+		}
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+
+		queued, err := s.adm.admit(ctx, s.clock, s.cfg.QueueWait)
+		if err != nil {
+			s.countShed(queued, err)
+			writeError(sw, attachRetryAfter(err, s.cfg.RetryAfter))
+			return
+		}
+		defer s.adm.release()
+		s.obs.Count("server.admitted", 1)
+		inflight, qdepth := s.adm.depth()
+		s.obs.SetGauge("server.inflight", float64(inflight))
+		s.obs.SetGauge("server.queue_depth", float64(qdepth))
+
+		if ferr := s.flt.Hit("server.request"); ferr != nil {
+			writeError(sw, asError(ferr))
+			return
+		}
+		if err := h(sw, r); err != nil {
+			if ctx.Err() != nil {
+				err = ErrTimeout.WithDetail("request deadline (%v) expired: %v", s.cfg.RequestTimeout, err)
+			}
+			writeError(sw, err)
+		}
+	}
+}
+
+// recoverRequest converts a handler panic into a 500 on this one request:
+// the goroutine's damage stays contained, the counter records it, and every
+// other request proceeds untouched.
+func (s *Server) recoverRequest(sw *statusWriter) {
+	if rec := recover(); rec != nil {
+		s.obs.Count("server.panics", 1)
+		writeError(sw, ErrInternal.WithDetail("handler panicked: %v", rec))
+	}
+}
+
+// countShed records which kind of shed occurred.
+func (s *Server) countShed(queued bool, err error) {
+	switch {
+	case is(err, ErrDraining):
+		s.obs.Count("server.shed_draining", 1)
+	case queued:
+		s.obs.Count("server.shed_timeout", 1)
+	default:
+		s.obs.Count("server.shed_capacity", 1)
+	}
+	s.obs.Count("server.shed", 1)
+}
+
+// attachRetryAfter decorates shed errors with the configured Retry-After
+// hint; other errors pass through.
+func attachRetryAfter(err error, d time.Duration) error {
+	se := asError(err)
+	if (is(se, ErrOverloaded) || is(se, ErrDraining)) && se.RetryAfter == 0 {
+		return se.withRetryAfter(d)
+	}
+	return err
+}
+
+// is reports whether err matches the sentinel by Code.
+func is(err error, sentinel *Error) bool {
+	se := asError(err)
+	return se.Code == sentinel.Code
+}
+
+// clientKey extracts the rate-limiting key (remote IP without port).
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// writeJSON writes v as the 200 response.
+func writeJSON(w http.ResponseWriter, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		return fmt.Errorf("encoding response: %w", err)
+	}
+	return nil
+}
+
+// ---- probe endpoints -------------------------------------------------------
+
+// healthBody is the /healthz response.
+type healthBody struct {
+	Status   string `json:"status"` // always "ok": the process is up and serving
+	Draining bool   `json:"draining,omitempty"`
+}
+
+// handleHealthz is liveness: 200 as long as the process can answer at all —
+// even while draining or with the breaker open. Restarting a process because
+// its dependency is failing only amplifies an outage; that signal belongs to
+// readiness.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) error {
+	return writeJSON(w, healthBody{Status: "ok", Draining: s.draining.Load()})
+}
+
+// readyBody is the /readyz response.
+type readyBody struct {
+	Ready    bool   `json:"ready"`
+	Reason   string `json:"reason,omitempty"` // why not ready
+	Degraded bool   `json:"degraded"`         // ready but serving a stale last-good view
+	Breaker  string `json:"breaker"`
+	Gen      int    `json:"generation"`
+}
+
+// handleReadyz is readiness: not-ready (503) while draining, while the
+// stream has never produced a view, or while the circuit breaker is open —
+// the cases where a load balancer should route traffic elsewhere. A degraded
+// (stale but servable) view is still ready: degraded serving is the
+// fault-tolerance contract working, not an outage.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) error {
+	st := s.src.Stats()
+	body := readyBody{
+		Ready:   true,
+		Breaker: st.Breaker.String(),
+		Gen:     st.Generation,
+	}
+	switch {
+	case s.draining.Load():
+		body.Ready, body.Reason = false, "draining"
+	case !st.HasView:
+		body.Ready, body.Reason = false, "no view produced yet"
+	case st.Breaker == stream.BreakerOpen:
+		body.Ready, body.Reason = false, "stream circuit breaker open"
+		body.Degraded = true
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if !body.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(body); err != nil {
+		return fmt.Errorf("encoding readiness: %w", err)
+	}
+	return nil
+}
+
+// ---- query endpoints -------------------------------------------------------
+
+// groupJSON is one cell-group of the served view.
+type groupJSON struct {
+	ID       int       `json:"id"`
+	RowBegin int       `json:"row_begin"`
+	RowEnd   int       `json:"row_end"`
+	ColBegin int       `json:"col_begin"`
+	ColEnd   int       `json:"col_end"`
+	Cells    int       `json:"cells"`
+	Null     bool      `json:"null,omitempty"`
+	Features []float64 `json:"features,omitempty"`
+}
+
+// viewJSON is the /view response: the full served partition plus its serving
+// metadata. Degraded mirrors the view flag (also signaled via the Warning
+// header).
+type viewJSON struct {
+	Generation  int         `json:"generation"`
+	Degraded    bool        `json:"degraded"`
+	Rows        int         `json:"rows"`
+	Cols        int         `json:"cols"`
+	Groups      int         `json:"groups"`
+	ValidGroups int         `json:"valid_groups"`
+	IFL         float64     `json:"ifl"`
+	CellGroups  []groupJSON `json:"cell_groups,omitempty"`
+}
+
+// currentView fetches the servable view, mapping "no view ever" to the
+// not-ready taxonomy error and stamping the degraded Warning header.
+func (s *Server) currentView(w http.ResponseWriter) (stream.View, error) {
+	v, err := s.src.Current()
+	if err != nil {
+		return stream.View{}, ErrNotReady.WithDetail("no servable view: %v", err)
+	}
+	if v.Repartitioned == nil {
+		return stream.View{}, ErrNotReady.WithDetail("no servable view")
+	}
+	if v.Degraded {
+		// 110 = "Response is Stale": the stream could not fold the freshest
+		// records in, so this is the flagged last-good view.
+		w.Header().Set("Warning", `110 - "serving last-good degraded view"`)
+	}
+	return v, nil
+}
+
+// handleView serves the current re-partitioned view: GET /view
+// (?groups=false omits the per-group list for a cheap summary).
+func (s *Server) handleView(w http.ResponseWriter, r *http.Request) error {
+	v, err := s.currentView(w)
+	if err != nil {
+		return err
+	}
+	out := viewJSON{
+		Generation:  v.Generation,
+		Degraded:    v.Degraded,
+		Rows:        v.Partition.Rows,
+		Cols:        v.Partition.Cols,
+		Groups:      v.NumGroups(),
+		ValidGroups: v.ValidGroups(),
+		IFL:         v.IFL,
+	}
+	if r.URL.Query().Get("groups") != "false" {
+		out.CellGroups = make([]groupJSON, 0, v.NumGroups())
+		for gi := range v.Partition.Groups {
+			out.CellGroups = append(out.CellGroups, groupInfo(v, gi))
+		}
+	}
+	if r.Context().Err() != nil {
+		return ErrTimeout.WithDetail("deadline expired before the view was written")
+	}
+	return writeJSON(w, out)
+}
+
+// handleGroup serves one cell-group: GET /group?id=N.
+func (s *Server) handleGroup(w http.ResponseWriter, r *http.Request) error {
+	id, err := strconv.Atoi(r.URL.Query().Get("id"))
+	if err != nil {
+		return ErrBadRequest.WithDetail("group id %q: %v", r.URL.Query().Get("id"), err)
+	}
+	v, verr := s.currentView(w)
+	if verr != nil {
+		return verr
+	}
+	if id < 0 || id >= v.NumGroups() {
+		return ErrNotFound.WithDetail("group %d outside [0, %d)", id, v.NumGroups())
+	}
+	return writeJSON(w, groupInfo(v, id))
+}
+
+// cellJSON is the /cell response: the group containing one grid cell.
+type cellJSON struct {
+	Row   int       `json:"row"`
+	Col   int       `json:"col"`
+	Group groupJSON `json:"group"`
+}
+
+// handleCell resolves the cell-group containing a grid cell:
+// GET /cell?row=R&col=C.
+func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) error {
+	q := r.URL.Query()
+	row, err := strconv.Atoi(q.Get("row"))
+	if err != nil {
+		return ErrBadRequest.WithDetail("row %q: %v", q.Get("row"), err)
+	}
+	col, err := strconv.Atoi(q.Get("col"))
+	if err != nil {
+		return ErrBadRequest.WithDetail("col %q: %v", q.Get("col"), err)
+	}
+	v, verr := s.currentView(w)
+	if verr != nil {
+		return verr
+	}
+	p := v.Partition
+	if row < 0 || row >= p.Rows || col < 0 || col >= p.Cols {
+		return ErrNotFound.WithDetail("cell (%d,%d) outside the %dx%d grid", row, col, p.Rows, p.Cols)
+	}
+	return writeJSON(w, cellJSON{Row: row, Col: col, Group: groupInfo(v, p.GroupOf(row, col))})
+}
+
+// handleStats serves the stream's machine-readable report: GET /stats.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) error {
+	return writeJSON(w, s.src.Report())
+}
+
+// groupInfo projects group gi of the view into its wire form.
+func groupInfo(v stream.View, gi int) groupJSON {
+	cg := v.Partition.Groups[gi]
+	g := groupJSON{
+		ID:       gi,
+		RowBegin: cg.RBeg,
+		RowEnd:   cg.REnd,
+		ColBegin: cg.CBeg,
+		ColEnd:   cg.CEnd,
+		Cells:    cg.Size(),
+		Null:     cg.Null,
+	}
+	if gi < len(v.Features) && v.Features[gi] != nil {
+		g.Features = append([]float64(nil), v.Features[gi]...)
+	}
+	return g
+}

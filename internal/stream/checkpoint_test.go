@@ -311,6 +311,67 @@ func TestConcurrentAddCurrentCheckpoint(t *testing.T) {
 	}
 }
 
+// TestRestoreTruncationSweep is the crash-consistency complement to
+// FuzzRestore: a checkpoint truncated at EVERY byte boundary — the exact
+// family of states a crash mid-write can leave behind — must fail Restore
+// with ErrCheckpoint, never panic, and never mutate the receiver. The sweep
+// is exhaustive and deterministic where the fuzz target is probabilistic.
+func TestRestoreTruncationSweep(t *testing.T) {
+	s1, err := New(testBounds(), 3, 3, ckptAttrs(), Options{Threshold: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckptFill(t, s1, 50, 13)
+	var buf bytes.Buffer
+	if err := s1.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	s2, err := New(testBounds(), 3, 3, ckptAttrs(), Options{Threshold: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Add(grid.Record{Lat: 1, Lon: 1, Values: []float64{1, 2, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	before := s2.Stats()
+	gridBefore := s2.Grid()
+
+	for i := 0; i < len(good); i++ {
+		rerr := s2.Restore(bytes.NewReader(good[:i]))
+		if rerr == nil {
+			t.Fatalf("Restore accepted a %d/%d-byte truncation", i, len(good))
+		}
+		if !errors.Is(rerr, ErrCheckpoint) {
+			t.Fatalf("truncation at %d: error %v does not wrap ErrCheckpoint", i, rerr)
+		}
+	}
+	after := s2.Stats()
+	if after != before {
+		t.Errorf("failed restores mutated stats: %+v -> %+v", before, after)
+	}
+	gridAfter := s2.Grid()
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			if gridBefore.Valid(r, c) != gridAfter.Valid(r, c) {
+				t.Fatalf("cell (%d,%d) validity changed across failed restores", r, c)
+			}
+			for k := range ckptAttrs() {
+				if gridBefore.At(r, c, k) != gridAfter.At(r, c, k) {
+					t.Fatalf("cell (%d,%d) attr %d changed across failed restores", r, c, k)
+				}
+			}
+		}
+	}
+
+	// The untruncated checkpoint still restores — the sweep rejected every
+	// prefix for the right reason, not because the file itself is bad.
+	if err := s2.Restore(bytes.NewReader(good)); err != nil {
+		t.Fatalf("full checkpoint failed to restore after sweep: %v", err)
+	}
+}
+
 // FuzzRestore asserts the decode contract: arbitrary bytes either restore or
 // return an error — never panic, never corrupt the receiver into a state
 // Stats/Grid cannot serve.

@@ -110,6 +110,14 @@ type Stats struct {
 	StaleRecords int
 	// Checkpoints counts successful Checkpoint writes.
 	Checkpoints int
+
+	// HasView reports whether a servable view currently exists — the
+	// serving layer's readiness signal (false until the first successful
+	// Current, and again right after Restore until the next recompute).
+	// Generation is the served view's install generation. Both are
+	// populated by Stats() from serving state, not persisted counters.
+	HasView    bool
+	Generation int
 }
 
 // View is one served partition plus its serving metadata. The embedded
@@ -499,6 +507,8 @@ func (s *Repartitioner) Stats() Stats {
 	st.BreakerOpens = s.breaker.opens
 	st.ConsecutiveFailures = s.breaker.consecutive
 	st.StaleRecords = s.sinceLastCheck
+	st.HasView = s.current != nil
+	st.Generation = s.generation
 	return st
 }
 
