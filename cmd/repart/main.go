@@ -12,7 +12,8 @@
 //	       [-partition partition.json] \
 //	       [-geojson groups.geojson -bounds minLat,maxLat,minLon,maxLon] \
 //	       [-schedule exact|geometric] [-workers n] [-render] [-stats] \
-//	       [-report run.json] [-metrics-addr :8080] [-version]
+//	       [-report run.json] [-metrics-addr :8080] [-trace-out trace.json] \
+//	       [-version]
 //
 // Streaming mode ingests raw point records (header + "lat,lon,v1,…,vp" rows)
 // instead of a pre-aggregated grid, and can persist its aggregate state
@@ -60,7 +61,8 @@ func main() {
 	stats := flag.Bool("stats", true, "print summary statistics to stderr")
 	doRender := flag.Bool("render", false, "print an ASCII rendering of the partition to stdout")
 	bbox := flag.String("bounds", "0,1,0,1", "geographic bounds for -geojson as minLat,maxLat,minLon,maxLon")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/traces and /debug/pprof on this address while running")
+	traceOut := flag.String("trace-out", "", "write recorded spans as Chrome trace-event JSON (loadable in Perfetto/chrome://tracing) at exit")
 	version := flag.Bool("version", false, "print build information and exit")
 	streamRecords := flag.String("stream-records", "", "streaming mode: ingest raw records CSV (lat,lon,v1,…,vp) instead of -in")
 	streamAttrs := flag.String("stream-attrs", "", "streaming mode: attribute spec name:sum|avg[:int][:cat],…")
@@ -82,9 +84,11 @@ func main() {
 		"in", *in, "threshold", *threshold, "schedule", *schedule, "workers", *workers)
 
 	var obsv *spatialrepart.Observer
-	if *metricsAddr != "" {
+	if *metricsAddr != "" || *traceOut != "" {
 		obsv = spatialrepart.NewObserver()
-		_, addr, err := obs.Serve(*metricsAddr, obsv.Registry())
+	}
+	if *metricsAddr != "" {
+		_, addr, err := obs.ServeObserver(*metricsAddr, obsv)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "repart:", err)
 			os.Exit(1)
@@ -116,10 +120,31 @@ func main() {
 			render: *doRender, bbox: *bbox, obsv: obsv,
 		})
 	}
+	if *traceOut != "" {
+		// Written even after a failed run: the flight recorder is often most
+		// useful exactly when something went wrong.
+		if werr := writeTraceOut(obsv, *traceOut); werr != nil && err == nil {
+			err = werr
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "repart:", err)
 		os.Exit(1)
 	}
+}
+
+// writeTraceOut dumps the observer's flight recorder as Chrome trace-event
+// JSON, the format Perfetto and chrome://tracing load directly.
+func writeTraceOut(obsv *spatialrepart.Observer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obsv.Flight().WriteTrace(f); err != nil {
+		f.Close() //spatialvet:ignore errdrop best-effort cleanup of a failed write; the WriteTrace error is the one reported
+		return fmt.Errorf("writing trace %s: %w", path, err)
+	}
+	return f.Close()
 }
 
 // runConfig carries the parsed flags.

@@ -198,3 +198,50 @@ func TestRunPartitionJSON(t *testing.T) {
 		t.Error("loaded partition is empty")
 	}
 }
+
+// TestTraceOutEndToEnd runs a batch repartition with an observer attached and
+// dumps the flight recorder via the -trace-out writer: the file must be
+// well-formed Chrome trace-event JSON containing a repart.run complete event
+// with rung.eval children in the same trace.
+func TestTraceOutEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTestGrid(t, dir)
+	obsv := spatialrepart.NewObserver()
+	if err := run(runConfig{in: in, threshold: 0.1, schedule: "geometric", obsv: obsv}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "trace.json")
+	if err := writeTraceOut(obsv, path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &tf); err != nil {
+		t.Fatalf("trace-out is not well-formed JSON: %v", err)
+	}
+	var runTrace string
+	evals := 0
+	for _, e := range tf.TraceEvents {
+		switch {
+		case e.Name == "repart.run" && e.Ph == "X":
+			runTrace = e.Args["trace_id"]
+		case e.Name == "rung.eval" && e.Ph == "X":
+			evals++
+		}
+	}
+	if runTrace == "" {
+		t.Fatal("trace lacks a repart.run complete event")
+	}
+	if evals == 0 {
+		t.Fatal("trace lacks rung.eval events")
+	}
+}

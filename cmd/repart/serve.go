@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"spatialrepart"
+	"spatialrepart/internal/obs"
 	"spatialrepart/internal/server"
 	"spatialrepart/internal/stream"
 )
@@ -26,10 +27,14 @@ func serveView(src *stream.Repartitioner, addr string, drainTimeout time.Duratio
 	if drainTimeout <= 0 {
 		drainTimeout = defaultDrainTimeout
 	}
-	srv, err := server.New(server.Config{Source: src, Obs: obsv})
+	srv, err := server.New(server.Config{Source: src, Obs: obsv, Logger: logger})
 	if err != nil {
 		return err
 	}
+	// Runtime telemetry (heap, GC pauses, goroutines) samples for as long as
+	// the serving loop runs; with a nil observer the sampler is inert.
+	sampler := obs.StartRuntimeSampler(obsv, obs.DefRuntimeSampleInterval, nil)
+	defer sampler.Stop()
 	bound, err := srv.Serve(addr)
 	if err != nil {
 		return err

@@ -8,11 +8,15 @@ import (
 // spanend keeps the observability layer honest: a span that is started
 // but never ended records nothing, silently losing the phase timing it
 // was added for. For every `sp := o.StartSpan(...)` (any call named
-// StartSpan returning a type named Span) the analyzer requires, within
+// StartSpan returning a type named Span) and every
+// `ctx, sp := o.StartSpanCtx(...)` (any call named StartSpanCtx whose
+// second result is a type named Span) the analyzer requires, within
 // the same function body, either a `defer sp.End()` or an `sp.End()`
 // call with no return statement between the start and that first End.
-// Discarding the span (`o.StartSpan(...)` as a statement, or
-// assignment to _) is always a finding.
+// Discarding the span (the call as a bare statement, or the span
+// result assigned to _) is always a finding — for StartSpanCtx a
+// discarded span additionally loses its flight-recorder event, not
+// just a histogram sample.
 var analyzerSpanEnd = &Analyzer{
 	Name: "spanend",
 	Doc:  "obs span started without End reachable on every return path",
@@ -46,32 +50,47 @@ func spanScanBody(pass *Pass, body *ast.BlockStmt) {
 		}
 		switch n := n.(type) {
 		case *ast.ExprStmt:
-			if call, ok := n.X.(*ast.CallExpr); ok && isStartSpanCall(pass, call) {
+			if call, ok := n.X.(*ast.CallExpr); ok && (isStartSpanCall(pass, call) || isStartSpanCtxCall(pass, call)) {
 				pass.Reportf(call.Pos(), "span discarded: assign the StartSpan result and End it")
 			}
 		case *ast.AssignStmt:
+			// Tuple form: ctx, sp := o.StartSpanCtx(...) — one call on the
+			// right, the span is the SECOND left-hand side.
+			if len(n.Rhs) == 1 && len(n.Lhs) == 2 {
+				if call, ok := n.Rhs[0].(*ast.CallExpr); ok && isStartSpanCtxCall(pass, call) {
+					spanCheckBinding(pass, body, call, n.Lhs[1])
+					return true
+				}
+			}
 			for i, rhs := range n.Rhs {
 				call, ok := rhs.(*ast.CallExpr)
 				if !ok || !isStartSpanCall(pass, call) || i >= len(n.Lhs) {
 					continue
 				}
-				id, ok := n.Lhs[i].(*ast.Ident)
-				if !ok || id.Name == "_" {
-					pass.Reportf(call.Pos(), "span discarded: assign the StartSpan result and End it")
-					continue
-				}
-				obj := pass.Info.Defs[id]
-				if obj == nil {
-					obj = pass.Info.Uses[id]
-				}
-				if obj == nil {
-					continue
-				}
-				checkSpanEnded(pass, body, call, obj)
+				spanCheckBinding(pass, body, call, n.Lhs[i])
 			}
 		}
 		return true
 	})
+}
+
+// spanCheckBinding dispatches on the left-hand side the span landed in:
+// a blank (or non-identifier) binding discards the span; a named binding
+// must be ended on every path.
+func spanCheckBinding(pass *Pass, body *ast.BlockStmt, call *ast.CallExpr, lhs ast.Expr) {
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		pass.Reportf(call.Pos(), "span discarded: assign the StartSpan result and End it")
+		return
+	}
+	obj := pass.Info.Defs[id]
+	if obj == nil {
+		obj = pass.Info.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	checkSpanEnded(pass, body, call, obj)
 }
 
 // checkSpanEnded verifies obj (a span started at call) is ended: either
@@ -134,6 +153,34 @@ func isStartSpanCall(pass *Pass, call *ast.CallExpr) bool {
 		return false
 	}
 	named, ok := tv.Type.(*types.Named)
+	return ok && named.Obj().Name() == "Span"
+}
+
+// isStartSpanCtxCall reports whether call invokes a method/function named
+// StartSpanCtx returning a 2-tuple whose second element is a named type
+// called Span.
+func isStartSpanCtxCall(pass *Pass, call *ast.CallExpr) bool {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return false
+	}
+	if name != "StartSpanCtx" {
+		return false
+	}
+	tv, ok := pass.Info.Types[call]
+	if !ok {
+		return false
+	}
+	tup, ok := tv.Type.(*types.Tuple)
+	if !ok || tup.Len() != 2 {
+		return false
+	}
+	named, ok := tup.At(1).Type().(*types.Named)
 	return ok && named.Obj().Name() == "Span"
 }
 

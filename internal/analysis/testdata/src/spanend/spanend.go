@@ -4,11 +4,15 @@ package spanend
 
 type Span struct{ name string }
 
-func (s Span) End() {}
+func (s Span) End(attrs ...string) {}
+
+type Ctx struct{}
 
 type Obs struct{}
 
 func (Obs) StartSpan(name string) Span { return Span{name: name} }
+
+func (Obs) StartSpanCtx(ctx Ctx, name string) (Ctx, Span) { return ctx, Span{name: name} }
 
 func discarded(o Obs) {
 	o.StartSpan("phase") // want "span discarded"
@@ -44,5 +48,44 @@ func deferredEnd(o Obs, fail bool) int {
 func endedBeforeReturn(o Obs) int {
 	sp := o.StartSpan("phase")
 	sp.End()
+	return 1
+}
+
+func ctxDiscarded(o Obs, ctx Ctx) {
+	o.StartSpanCtx(ctx, "phase") // want "span discarded"
+}
+
+func ctxBlankSpan(o Obs, ctx Ctx) Ctx {
+	ctx2, _ := o.StartSpanCtx(ctx, "phase") // want "span discarded"
+	return ctx2
+}
+
+func ctxNeverEnded(o Obs, ctx Ctx) string {
+	_, sp := o.StartSpanCtx(ctx, "phase") // want "never ended"
+	return sp.name
+}
+
+func ctxReturnLeaks(o Obs, ctx Ctx, fail bool) int {
+	_, sp := o.StartSpanCtx(ctx, "phase")
+	if fail {
+		return 0 // want "return between StartSpan and sp.End"
+	}
+	sp.End()
+	return 1
+}
+
+func ctxDeferredEnd(o Obs, ctx Ctx, fail bool) int {
+	ctx2, sp := o.StartSpanCtx(ctx, "phase")
+	defer sp.End()
+	_ = ctx2
+	if fail {
+		return 0
+	}
+	return 1
+}
+
+func ctxEndWithAttrs(o Obs, ctx Ctx) int {
+	_, sp := o.StartSpanCtx(ctx, "phase")
+	sp.End("status", "200")
 	return 1
 }

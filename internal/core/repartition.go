@@ -181,8 +181,15 @@ func repartition(g *grid.Grid, opts Options, rec *runRecorder) (*Repartitioned, 
 	o.Count("repart.runs", 1)
 	o.SetGauge("repart.workers", float64(workers))
 
+	// The run root span adopts any trace context the caller placed in ctx
+	// (e.g. the server's request span), so a traced /view request yields one
+	// connected tree down to the per-rung evaluations. With a nil observer
+	// both calls are single branches and ctx is returned unchanged.
+	ctx, spRun := o.StartSpanCtx(ctx, "repart.run", "schedule", scheduleName(opts.Schedule))
+	defer spRun.End()
+
 	norm, _ := g.Normalized()
-	sp := o.StartSpan("varfield.build")
+	_, sp := o.StartSpanCtx(ctx, "varfield.build")
 	field := BuildFieldParallel(norm, workers)
 	sp.End()
 	ladder := field.Ladder()
@@ -214,7 +221,10 @@ func repartition(g *grid.Grid, opts Options, rec *runRecorder) (*Repartitioned, 
 		if ctx.Err() != nil {
 			return rungResult{rung: i, canceled: true}
 		}
-		spe := o.StartSpan("rung.eval")
+		// rung.eval joins the request trace; its sub-phases (rung.extract,
+		// rung.allocate, rung.loss) stay histogram-only so the flight
+		// recorder holds one event per rung, not four.
+		_, spe := o.StartSpanCtx(ctx, "rung.eval")
 		part := extractFieldObs(o, field, ladder.Rung(i))
 		feats := allocateFeaturesObs(o, g, part)
 		loss := iflObs(o, g, part, feats)

@@ -21,12 +21,45 @@ type EvalPoint struct {
 	Pass            bool    `json:"pass"`
 }
 
-// PhaseStat summarizes one timed phase (a span histogram) of a run.
+// PhaseStat summarizes one timed phase (a span histogram) of a run. The
+// percentiles are bucket estimates (linear interpolation within the
+// containing histogram bucket, clamped to the observed [min, max]), not exact
+// order statistics.
 type PhaseStat struct {
 	Count   int64 `json:"count"`
 	TotalNS int64 `json:"total_ns"`
 	MinNS   int64 `json:"min_ns"`
 	MaxNS   int64 `json:"max_ns"`
+	P50NS   int64 `json:"p50_ns"`
+	P95NS   int64 `json:"p95_ns"`
+	P99NS   int64 `json:"p99_ns"`
+}
+
+// PhaseStatsFrom extracts per-phase timing stats from a registry snapshot's
+// span histograms, keyed by span name with the "span." prefix trimmed. Both
+// RunReport and the serving /stats endpoint build their phase summaries here
+// so the two agree on shape and estimation method. Returns nil when the
+// snapshot holds no span histograms.
+func PhaseStatsFrom(snap obs.Snapshot) map[string]PhaseStat {
+	var phases map[string]PhaseStat
+	for name, hs := range snap.Histograms {
+		if !strings.HasPrefix(name, obs.SpanPrefix) {
+			continue
+		}
+		if phases == nil {
+			phases = map[string]PhaseStat{}
+		}
+		phases[strings.TrimPrefix(name, obs.SpanPrefix)] = PhaseStat{
+			Count:   hs.Count,
+			TotalNS: int64(hs.Sum),
+			MinNS:   int64(hs.Min),
+			MaxNS:   int64(hs.Max),
+			P50NS:   int64(hs.Quantile(0.50)),
+			P95NS:   int64(hs.Quantile(0.95)),
+			P99NS:   int64(hs.Quantile(0.99)),
+		}
+	}
+	return phases
 }
 
 // RunReport is the machine-readable summary of one Repartition call —
@@ -136,21 +169,7 @@ func (rec *runRecorder) buildReport(g *grid.Grid, opts Options, rp *Repartitione
 		TotalNS:         total,
 		Trajectory:      rec.evals,
 	}
-	snap := rec.obs.Registry().Snapshot()
-	for name, hs := range snap.Histograms {
-		if !strings.HasPrefix(name, obs.SpanPrefix) {
-			continue
-		}
-		if r.Phases == nil {
-			r.Phases = map[string]PhaseStat{}
-		}
-		r.Phases[strings.TrimPrefix(name, obs.SpanPrefix)] = PhaseStat{
-			Count:   hs.Count,
-			TotalNS: int64(hs.Sum),
-			MinNS:   int64(hs.Min),
-			MaxNS:   int64(hs.Max),
-		}
-	}
+	r.Phases = PhaseStatsFrom(rec.obs.Registry().Snapshot())
 	if busy, ok := r.Phases["rung.eval"]; ok && total > 0 && rec.workers > 0 {
 		r.WorkerUtilization = float64(busy.TotalNS) / (float64(rec.workers) * float64(total))
 	}

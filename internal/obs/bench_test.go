@@ -1,6 +1,9 @@
 package obs
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // The disabled (nil-observer) path is the one every hot loop pays when
 // instrumentation is off; these benchmarks pin it to roughly one branch.
@@ -40,6 +43,59 @@ func BenchmarkEnabledSpan(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sp := o.StartSpan("rung.eval")
+		sp.End()
+	}
+}
+
+// spanSink keeps the labeled span (and its folded name) live so the compiler
+// cannot elide the fold.
+var spanSink Span
+
+// BenchmarkStartSpanLabels pins the labeled-span start path: the label fold
+// must cost one pre-sized allocation, not one per label.
+func BenchmarkStartSpanLabels(b *testing.B) {
+	o := New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spanSink = o.StartSpan("server.http", "/view", "200")
+	}
+}
+
+// TestStartSpanLabelsSingleAlloc is the satellite's acceptance check: the
+// enabled labeled StartSpan path performs exactly one allocation (the folded
+// name), however many labels are folded.
+func TestStartSpanLabelsSingleAlloc(t *testing.T) {
+	o := New()
+	for _, labels := range [][]string{
+		{"a"},
+		{"/view", "200"},
+		{"/view", "200", "extra", "labels"},
+	} {
+		allocs := testing.AllocsPerRun(100, func() {
+			spanSink = o.StartSpan("server.http", labels...)
+		})
+		if allocs > 1 {
+			t.Errorf("StartSpan with %d labels: %.1f allocs/op, want <= 1", len(labels), allocs)
+		}
+	}
+}
+
+func BenchmarkDisabledSpanCtx(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		_, sp := disabledObs.StartSpanCtx(ctx, "server.request")
+		sp.End()
+	}
+}
+
+func BenchmarkEnabledSpanCtx(b *testing.B) {
+	o := New()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, sp := o.StartSpanCtx(ctx, "server.request")
 		sp.End()
 	}
 }

@@ -23,6 +23,16 @@ func MetricsHandler(r *Registry) http.Handler {
 	})
 }
 
+// TracesHandler serves the flight recorder's snapshot as Chrome trace-event
+// JSON, loadable directly in Perfetto or chrome://tracing. A nil recorder
+// serves an empty, still well-formed trace.
+func TracesHandler(fr *FlightRecorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = fr.WriteTrace(w) //spatialvet:ignore errdrop best-effort HTTP response write; a disconnected client is unactionable here
+	})
+}
+
 // NewMux returns an HTTP mux exposing the registry snapshot at /metrics,
 // the process expvars (including registries published with PublishExpvar)
 // at /debug/vars, and the net/http/pprof profiles under /debug/pprof/.
@@ -35,6 +45,15 @@ func NewMux(r *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ObserverMux is NewMux over the observer's registry plus the observer's
+// flight recorder at /debug/traces — the full diagnostics surface of one
+// observer.
+func ObserverMux(o *Observer) *http.ServeMux {
+	mux := NewMux(o.Registry())
+	mux.Handle("/debug/traces", TracesHandler(o.Flight()))
 	return mux
 }
 
@@ -85,6 +104,19 @@ func Serve(addr string, r *Registry) (*http.Server, string, error) {
 	}
 	PublishExpvar("spatialrepart", r)
 	srv := HardenedServer(NewMux(r))
+	go func() { _ = srv.Serve(ln) }() //spatialvet:ignore errdrop Serve returns ErrServerClosed on shutdown; the caller owns the server lifecycle
+	return srv, ln.Addr().String(), nil
+}
+
+// ServeObserver is Serve for a full observer: the same metrics/expvar/pprof
+// surface plus the observer's flight recorder at /debug/traces.
+func ServeObserver(addr string, o *Observer) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	PublishExpvar("spatialrepart", o.Registry())
+	srv := HardenedServer(ObserverMux(o))
 	go func() { _ = srv.Serve(ln) }() //spatialvet:ignore errdrop Serve returns ErrServerClosed on shutdown; the caller owns the server lifecycle
 	return srv, ln.Addr().String(), nil
 }

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramSnapshotQuantile(t *testing.T) {
+	h := newHistogram([]float64{10, 20, 30})
+	// 10 observations ≤ 10, 10 in (10, 20], none in (20, 30], 5 overflow.
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(15)
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(100)
+	}
+	s := h.snapshot()
+	if got := s.Quantile(0); got != s.Min {
+		t.Errorf("q0 = %v, want Min %v", got, s.Min)
+	}
+	if got := s.Quantile(1); got != s.Max {
+		t.Errorf("q1 = %v, want Max %v", got, s.Max)
+	}
+	// Median falls on the boundary of the second bucket's range: rank 12.5 of
+	// 25 lands 2.5/10 into (10, 20].
+	if got, want := s.Quantile(0.5), 12.5; math.Abs(got-want) > 1e-9 {
+		t.Errorf("q50 = %v, want %v", got, want)
+	}
+	// p90 (rank 22.5) lands in the overflow bucket, whose upper edge is
+	// clamped to Max.
+	if got := s.Quantile(0.9); got < 30 || got > s.Max {
+		t.Errorf("q90 = %v, want within (30, %v]", got, s.Max)
+	}
+	// Estimates are monotone in q.
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone: q=%v gives %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty q50 = %v, want 0", got)
+	}
+	h := newHistogram([]float64{10})
+	h.Observe(7)
+	s := h.snapshot()
+	// Single observation: every quantile is that observation.
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := s.Quantile(q); got != 7 {
+			t.Errorf("single-observation q%v = %v, want 7", q, got)
+		}
+	}
+}

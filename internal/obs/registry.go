@@ -254,6 +254,52 @@ type HistogramSnapshot struct {
 	Buckets []BucketCount `json:"buckets,omitempty"`
 }
 
+// Quantile estimates the q-quantile (q ∈ [0, 1]) of the recorded
+// distribution from the bucket counts: the containing bucket is located by
+// cumulative count and the value interpolated linearly within its bounds.
+// The estimate is clamped to the exact observed [Min, Max], which also
+// anchors the first bucket's lower edge and the overflow bucket's upper
+// edge; with coarse buckets it is an estimate, not an exact order statistic.
+// Returns 0 when the histogram is empty.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := int64(0)
+	lower := s.Min
+	for _, b := range s.Buckets {
+		upper := b.UpperBound
+		if math.IsInf(upper, 1) || upper > s.Max {
+			upper = s.Max
+		}
+		if lower > upper {
+			lower = upper
+		}
+		next := cum + b.Count
+		if rank <= float64(next) {
+			frac := (rank - float64(cum)) / float64(b.Count)
+			v := lower + frac*(upper-lower)
+			if v < s.Min {
+				v = s.Min
+			}
+			if v > s.Max {
+				v = s.Max
+			}
+			return v
+		}
+		cum = next
+		lower = b.UpperBound
+	}
+	return s.Max
+}
+
 // BucketCount is one non-empty histogram bucket: the count of observations
 // with value ≤ UpperBound (math.Inf(1) for the overflow bucket).
 type BucketCount struct {

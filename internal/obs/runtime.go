@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Runtime telemetry (DESIGN.md §3.18): a periodic sampler publishing process
+// resource pressure — heap, GC, goroutines — as gauges in the observer's
+// registry, so /metrics, the chaos suites, and the serve-mode dashboards see
+// memory and scheduler health next to the serving counters they explain.
+
+// DefRuntimeSampleInterval is the sampler period when the caller passes 0.
+// runtime.ReadMemStats stops the world briefly, so the default is deliberately
+// coarse.
+const DefRuntimeSampleInterval = 10 * time.Second
+
+// SampleRuntime records one snapshot of runtime health into o's gauges
+// (runtime.goroutines, runtime.heap_alloc_bytes, runtime.heap_sys_bytes,
+// runtime.heap_objects, runtime.next_gc_bytes, runtime.gc_count,
+// runtime.gc_pause_total_ns, runtime.last_gc_pause_ns) and bumps the
+// runtime.samples counter. Nil observers pay the usual single branch.
+func SampleRuntime(o *Observer) {
+	if o == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	o.SetGauge("runtime.goroutines", float64(runtime.NumGoroutine()))
+	o.SetGauge("runtime.heap_alloc_bytes", float64(ms.HeapAlloc))
+	o.SetGauge("runtime.heap_sys_bytes", float64(ms.HeapSys))
+	o.SetGauge("runtime.heap_objects", float64(ms.HeapObjects))
+	o.SetGauge("runtime.next_gc_bytes", float64(ms.NextGC))
+	o.SetGauge("runtime.gc_count", float64(ms.NumGC))
+	o.SetGauge("runtime.gc_pause_total_ns", float64(ms.PauseTotalNs))
+	if ms.NumGC > 0 {
+		o.SetGauge("runtime.last_gc_pause_ns", float64(ms.PauseNs[(ms.NumGC+255)%256]))
+	}
+	o.Count("runtime.samples", 1)
+}
+
+// RuntimeSampler is a background goroutine publishing SampleRuntime on a
+// clock. Stop it with Stop; stopping is idempotent.
+type RuntimeSampler struct {
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// StartRuntimeSampler starts sampling o every `interval` (0 takes
+// DefRuntimeSampleInterval). When ticks is non-nil it replaces the internal
+// time.Ticker as the clock — the deterministic-test hook: each receive
+// triggers exactly one sample. A nil observer returns an inert sampler whose
+// Stop still works, so callers never need to guard the start.
+func StartRuntimeSampler(o *Observer, interval time.Duration, ticks <-chan time.Time) *RuntimeSampler {
+	s := &RuntimeSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	if o == nil {
+		close(s.done)
+		return s
+	}
+	if interval <= 0 {
+		interval = DefRuntimeSampleInterval
+	}
+	go func() {
+		defer close(s.done)
+		var tk *time.Ticker
+		c := ticks
+		if c == nil {
+			tk = time.NewTicker(interval)
+			defer tk.Stop()
+			c = tk.C
+		}
+		SampleRuntime(o) // one immediate sample so gauges exist before the first tick
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-c:
+				SampleRuntime(o)
+			}
+		}
+	}()
+	return s
+}
+
+// Stop halts the sampler and waits for its goroutine to exit. Safe to call
+// more than once, including concurrently.
+func (s *RuntimeSampler) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+}

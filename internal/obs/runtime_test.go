@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSampleRuntimePublishesGauges(t *testing.T) {
+	o := NewSeeded(1)
+	SampleRuntime(o)
+	snap := o.Registry().Snapshot()
+	for _, g := range []string{
+		"runtime.goroutines", "runtime.heap_alloc_bytes", "runtime.heap_sys_bytes",
+		"runtime.heap_objects", "runtime.next_gc_bytes",
+	} {
+		if v, ok := snap.Gauges[g]; !ok || v <= 0 {
+			t.Errorf("gauge %s = %v (present=%v), want > 0", g, v, ok)
+		}
+	}
+	for _, g := range []string{"runtime.gc_count", "runtime.gc_pause_total_ns"} {
+		if _, ok := snap.Gauges[g]; !ok {
+			t.Errorf("gauge %s missing", g)
+		}
+	}
+	if n := snap.Counters["runtime.samples"]; n != 1 {
+		t.Errorf("runtime.samples = %d, want 1", n)
+	}
+}
+
+// TestRuntimeSamplerInjectedClock drives the sampler with an explicit tick
+// channel: one sample immediately on start, then exactly one per tick.
+func TestRuntimeSamplerInjectedClock(t *testing.T) {
+	o := NewSeeded(1)
+	ticks := make(chan time.Time)
+	s := StartRuntimeSampler(o, time.Hour, ticks)
+	samples := func() int64 { return o.Registry().Counter("runtime.samples").Value() }
+	waitFor := func(want int64) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for samples() < want {
+			if time.Now().After(deadline) {
+				t.Fatalf("samples = %d, want %d", samples(), want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitFor(1) // the immediate start-up sample
+	ticks <- time.Time{}
+	waitFor(2)
+	ticks <- time.Time{}
+	waitFor(3)
+	s.Stop()
+	s.Stop() // idempotent
+	if got := samples(); got != 3 {
+		t.Fatalf("samples after stop = %d, want 3", got)
+	}
+}
+
+func TestRuntimeSamplerNilObserver(t *testing.T) {
+	s := StartRuntimeSampler(nil, time.Millisecond, nil)
+	s.Stop()
+	s.Stop()
+}

@@ -21,6 +21,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"strconv"
@@ -35,9 +36,12 @@ import (
 // Source is the serving layer's view of the streaming repartitioner.
 // *stream.Repartitioner implements it; tests substitute stubs.
 type Source interface {
-	// Current returns the freshest servable view (possibly Degraded); it
-	// errors only while no view has ever been produced.
-	Current() (stream.View, error)
+	// CurrentCtx returns the freshest servable view (possibly Degraded); it
+	// errors only while no view has ever been produced. ctx carries the
+	// request's trace context so the serve links into the request span tree
+	// (trace linkage only — implementations must not let a request deadline
+	// cancel shared recompute work).
+	CurrentCtx(ctx context.Context) (stream.View, error)
 	// Stats returns the stream's counters, including the serving state
 	// (HasView, Breaker) readiness is derived from.
 	Stats() stream.Stats
@@ -78,9 +82,20 @@ type Config struct {
 	// GET-only, so this is pure abuse protection.
 	MaxBodyBytes int64
 
-	// Obs, when non-nil, receives the serving metrics. Nil disables
+	// Obs, when non-nil, receives the serving metrics — including RED
+	// (rate/errors/duration) series per route×status — and records
+	// server.request spans into its flight recorder. Nil disables
 	// instrumentation at the usual one-branch cost.
 	Obs *obs.Observer
+	// Logger, when non-nil, receives one structured access-log record per
+	// sampled query request: trace ID, route, status, shed reason, and
+	// latency. Nil disables access logging.
+	Logger *slog.Logger
+	// AccessLogEvery samples the access log: every Nth query request is
+	// logged (1 or 0 = every request). Sampling is deterministic — a plain
+	// modulo on the request counter — so a load test's log volume is
+	// predictable.
+	AccessLogEvery int
 	// Fault, when non-nil, is consulted at the "server.request" injection
 	// point after admission — the overload/drain chaos hook (injected
 	// delays occupy a real in-flight slot; injected panics exercise the
@@ -105,6 +120,10 @@ type Server struct {
 	draining atomic.Bool
 	httpSrv  *http.Server
 	mux      *http.ServeMux
+
+	logger   *slog.Logger
+	logEvery uint64
+	reqSeq   atomic.Uint64
 }
 
 // New validates cfg, applies defaults, and returns a ready-to-mount Server.
@@ -137,23 +156,29 @@ func New(cfg Config) (*Server, error) {
 	if clock == nil {
 		clock = realClock{}
 	}
+	logEvery := cfg.AccessLogEvery
+	if logEvery <= 0 {
+		logEvery = 1
+	}
 	s := &Server{
-		cfg:   cfg,
-		src:   cfg.Source,
-		adm:   newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
-		lim:   newLimiter(cfg.RatePerSec, cfg.RateBurst, cfg.ClientRatePerSec, cfg.ClientRateBurst, clock.Now()),
-		clock: clock,
-		obs:   cfg.Obs,
-		flt:   cfg.Fault,
+		cfg:      cfg,
+		src:      cfg.Source,
+		adm:      newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
+		lim:      newLimiter(cfg.RatePerSec, cfg.RateBurst, cfg.ClientRatePerSec, cfg.ClientRateBurst, clock.Now()),
+		clock:    clock,
+		obs:      cfg.Obs,
+		flt:      cfg.Fault,
+		logger:   cfg.Logger,
+		logEvery: uint64(logEvery),
 	}
 	s.adm.onQueued = func() { s.obs.Count("server.queued", 1) }
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.probe(s.handleHealthz))
 	mux.HandleFunc("/readyz", s.probe(s.handleReadyz))
-	mux.HandleFunc("/view", s.query(s.handleView))
-	mux.HandleFunc("/group", s.query(s.handleGroup))
-	mux.HandleFunc("/cell", s.query(s.handleCell))
-	mux.HandleFunc("/stats", s.query(s.handleStats))
+	mux.HandleFunc("/view", s.query("/view", s.handleView))
+	mux.HandleFunc("/group", s.query("/group", s.handleGroup))
+	mux.HandleFunc("/cell", s.query("/cell", s.handleCell))
+	mux.HandleFunc("/stats", s.query("/stats", s.handleStats))
 	s.mux = mux
 	return s, nil
 }
@@ -222,15 +247,33 @@ func (s *Server) probe(h handlerFunc) http.HandlerFunc {
 }
 
 // query wraps a handler in the full robustness envelope, outermost first:
-// panic isolation, method check, body cap, rate limiting, per-request
-// deadline, admission control, fault injection, then the handler.
-func (s *Server) query(h handlerFunc) http.HandlerFunc {
+// request accounting (span, RED metrics, access log), panic isolation, method
+// check, body cap, rate limiting, per-request deadline, admission control,
+// fault injection, then the handler. route is the static endpoint label used
+// for the per-route×status series, so metric cardinality stays bounded by the
+// route table, not by request URLs.
+func (s *Server) query(route string, h handlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
-		defer s.recoverRequest(sw)
 		s.obs.Count("server.requests", 1)
-		sp := s.obs.StartSpan("server.request")
-		defer sp.End()
+
+		// Adopt an inbound W3C traceparent (or start a fresh trace) and open
+		// the request's root span. The response echoes the request's own
+		// trace context so callers can find it in /debug/traces.
+		ctx := r.Context()
+		if tc, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
+			ctx = obs.ContextWithTrace(ctx, tc)
+		}
+		ctx, sp := s.obs.StartSpanCtx(ctx, "server.request", "route", route) //spatialvet:ignore spanend ended by the deferred finishRequest below, which needs the final status first
+		if tc, ok := obs.TraceFromContext(ctx); ok {
+			sw.Header().Set("traceparent", tc.Traceparent())
+		}
+		start := s.clock.Now()
+		shed := ""
+		// finish must be registered BEFORE the recover so panic unwinding
+		// recovers (writing the 500) first and accounting sees that status.
+		defer func() { s.finishRequest(sw, route, shed, sp, start) }()
+		defer s.recoverRequest(sw)
 
 		if r.Method != http.MethodGet {
 			writeError(sw, ErrMethodNotAllowed.WithDetail("%s not allowed; query endpoints are GET-only", r.Method))
@@ -240,19 +283,20 @@ func (s *Server) query(h handlerFunc) http.HandlerFunc {
 
 		if ok, wait := s.lim.allow(clientKey(r), s.clock.Now()); !ok {
 			s.obs.Count("server.rate_limited", 1)
+			shed = "rate_limited"
 			writeError(sw, ErrRateLimited.
 				WithDetail("token bucket empty; retry after %v", wait).
 				withRetryAfter(wait))
 			return
 		}
 
-		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
 		defer cancel()
 		r = r.WithContext(ctx)
 
 		queued, err := s.adm.admit(ctx, s.clock, s.cfg.QueueWait)
 		if err != nil {
-			s.countShed(queued, err)
+			shed = s.countShed(queued, err)
 			writeError(sw, attachRetryAfter(err, s.cfg.RetryAfter))
 			return
 		}
@@ -275,6 +319,47 @@ func (s *Server) query(h handlerFunc) http.HandlerFunc {
 	}
 }
 
+// finishRequest closes out one query request: it ends the server.request span
+// (status and shed reason become span attributes), records the RED
+// route×status series, and emits the sampled structured access log line.
+func (s *Server) finishRequest(sw *statusWriter, route, shed string, sp obs.Span, start time.Time) {
+	status := sw.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	elapsed := s.clock.Now().Sub(start)
+	code := strconv.Itoa(status)
+	if s.obs.Enabled() {
+		s.obs.Count(obs.FoldLabels("server.http.requests", []string{route, code}), 1)
+		if status >= 500 {
+			s.obs.Count(obs.FoldLabels("server.http.errors", []string{route, code}), 1)
+		}
+		s.obs.Observe(obs.FoldLabels("server.http.latency_ns", []string{route, code}), float64(elapsed.Nanoseconds()))
+	}
+	if sp.Traced() {
+		sp.End("status", code, "shed", shed)
+	} else {
+		sp.End()
+	}
+	if s.logger == nil {
+		return
+	}
+	if n := s.reqSeq.Add(1); (n-1)%s.logEvery != 0 {
+		return
+	}
+	traceID := ""
+	if tc, ok := obs.ParseTraceparent(sw.Header().Get("traceparent")); ok {
+		traceID = tc.TraceID.String()
+	}
+	s.logger.Info("request",
+		slog.String("trace_id", traceID),
+		slog.String("route", route),
+		slog.Int("status", status),
+		slog.String("shed", shed),
+		slog.Duration("latency", elapsed),
+	)
+}
+
 // recoverRequest converts a handler panic into a 500 on this one request:
 // the goroutine's damage stays contained, the counter records it, and every
 // other request proceeds untouched.
@@ -285,17 +370,22 @@ func (s *Server) recoverRequest(sw *statusWriter) {
 	}
 }
 
-// countShed records which kind of shed occurred.
-func (s *Server) countShed(queued bool, err error) {
+// countShed records which kind of shed occurred and returns its label (the
+// span attribute / access-log shed reason).
+func (s *Server) countShed(queued bool, err error) string {
+	reason := "capacity"
 	switch {
 	case is(err, ErrDraining):
+		reason = "draining"
 		s.obs.Count("server.shed_draining", 1)
 	case queued:
+		reason = "queue_timeout"
 		s.obs.Count("server.shed_timeout", 1)
 	default:
 		s.obs.Count("server.shed_capacity", 1)
 	}
 	s.obs.Count("server.shed", 1)
+	return reason
 }
 
 // attachRetryAfter decorates shed errors with the configured Retry-After
@@ -419,9 +509,10 @@ type viewJSON struct {
 }
 
 // currentView fetches the servable view, mapping "no view ever" to the
-// not-ready taxonomy error and stamping the degraded Warning header.
-func (s *Server) currentView(w http.ResponseWriter) (stream.View, error) {
-	v, err := s.src.Current()
+// not-ready taxonomy error and stamping the degraded Warning header. ctx
+// links the serve into the request's trace.
+func (s *Server) currentView(ctx context.Context, w http.ResponseWriter) (stream.View, error) {
+	v, err := s.src.CurrentCtx(ctx)
 	if err != nil {
 		return stream.View{}, ErrNotReady.WithDetail("no servable view: %v", err)
 	}
@@ -439,7 +530,7 @@ func (s *Server) currentView(w http.ResponseWriter) (stream.View, error) {
 // handleView serves the current re-partitioned view: GET /view
 // (?groups=false omits the per-group list for a cheap summary).
 func (s *Server) handleView(w http.ResponseWriter, r *http.Request) error {
-	v, err := s.currentView(w)
+	v, err := s.currentView(r.Context(), w)
 	if err != nil {
 		return err
 	}
@@ -470,7 +561,7 @@ func (s *Server) handleGroup(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return ErrBadRequest.WithDetail("group id %q: %v", r.URL.Query().Get("id"), err)
 	}
-	v, verr := s.currentView(w)
+	v, verr := s.currentView(r.Context(), w)
 	if verr != nil {
 		return verr
 	}
@@ -499,7 +590,7 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return ErrBadRequest.WithDetail("col %q: %v", q.Get("col"), err)
 	}
-	v, verr := s.currentView(w)
+	v, verr := s.currentView(r.Context(), w)
 	if verr != nil {
 		return verr
 	}

@@ -17,7 +17,7 @@ import (
 	"spatialrepart/internal/stream"
 )
 
-// stubSource is a controllable Source. gate, when non-nil, makes Current
+// stubSource is a controllable Source. gate, when non-nil, makes CurrentCtx
 // block until the gate channel is closed (after signaling entry on entered),
 // so tests can pin requests in flight deterministically.
 type stubSource struct {
@@ -31,7 +31,7 @@ type stubSource struct {
 	gate    chan struct{} // Current blocks until closed (if non-nil)
 }
 
-func (s *stubSource) Current() (stream.View, error) {
+func (s *stubSource) CurrentCtx(context.Context) (stream.View, error) {
 	s.mu.Lock()
 	entered, gate, panicit := s.entered, s.gate, s.panicit
 	v, err := s.view, s.err

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strconv"
 	"sync"
 	"time"
 
@@ -313,11 +314,39 @@ func (s *Repartitioner) snapshotGrid() *grid.Grid {
 // behind another goroutine's recompute serves that (fresher) result instead
 // of starting its own.
 func (s *Repartitioner) Current() (View, error) {
+	return s.CurrentCtx(context.Background())
+}
+
+// CurrentCtx is Current with request-scoped tracing: when ctx carries a trace
+// context (and an observer is attached), the call is wrapped in a
+// stream.current span whose end attributes record the served generation,
+// whether the serve was degraded, and how the view was produced (cached,
+// refresh, recompute, degraded, error). Refresh and recompute work links into
+// the same trace, so a traced request shows exactly which stale generation a
+// degraded response served. The ctx is used for TRACE LINKAGE ONLY: a full
+// recompute is shared work that outlives any one request, so its cancellation
+// stays governed by Options.RecomputeTimeout, never by ctx's deadline.
+func (s *Repartitioner) CurrentCtx(ctx context.Context) (View, error) {
+	ctx, sp := s.opts.Obs.StartSpanCtx(ctx, "stream.current")
+	v, source, err := s.currentCtx(ctx)
+	if sp.Traced() {
+		sp.End("generation", strconv.Itoa(v.Generation),
+			"degraded", strconv.FormatBool(v.Degraded),
+			"source", source)
+	} else {
+		sp.End()
+	}
+	return v, err
+}
+
+// currentCtx is the shared serve path; the source label feeds the span
+// attributes only and never affects the returned view.
+func (s *Repartitioner) currentCtx(ctx context.Context) (View, string, error) {
 	s.mu.Lock()
 	if s.current != nil && s.sinceLastCheck < s.opts.MinRecordsBetweenChecks {
 		v := s.viewLocked(false)
 		s.mu.Unlock()
-		return v, nil
+		return v, "cached", nil
 	}
 	gen := s.generation
 	s.mu.Unlock()
@@ -332,7 +361,7 @@ func (s *Repartitioner) Current() (View, error) {
 		// computed from aggregates at least as fresh as our call.
 		v := s.viewLocked(false)
 		s.mu.Unlock()
-		return v, nil
+		return v, "cached", nil
 	}
 	// Retry/backoff and breaker gate. With a last-good view to fall back
 	// on, an attempt inside the backoff window (or with the breaker open)
@@ -341,7 +370,7 @@ func (s *Repartitioner) Current() (View, error) {
 	if s.current != nil && !s.breaker.allow(s.now()) {
 		v := s.degradedLocked()
 		s.mu.Unlock()
-		return v, nil
+		return v, "degraded", nil
 	}
 	probing := s.breaker.state == BreakerHalfOpen
 	g := s.snapshotGrid()
@@ -356,7 +385,7 @@ func (s *Repartitioner) Current() (View, error) {
 		s.beforeCompute()
 	}
 
-	rp, recompute, err := s.attempt(g, cur)
+	rp, recompute, err := s.attempt(ctx, g, cur)
 	if err != nil {
 		s.opts.Obs.Count("stream.recompute_failures", 1)
 		s.mu.Lock()
@@ -371,18 +400,23 @@ func (s *Repartitioner) Current() (View, error) {
 		if s.current != nil {
 			v := s.degradedLocked()
 			s.mu.Unlock()
-			return v, nil
+			return v, "degraded", nil
 		}
 		s.mu.Unlock()
-		return View{}, err
+		return View{}, "error", err
 	}
-	return s.install(rp, snapshotted, recompute), nil
+	source := "refresh"
+	if recompute {
+		source = "recompute"
+	}
+	return s.install(rp, snapshotted, recompute), source, nil
 }
 
 // attempt runs one refresh-or-recompute on the snapshotted grid, outside all
 // locks. It converts panics (a poisoned grid, an injected chaos panic) into
 // errors so a failing recompute can never take the serving path down with it.
-func (s *Repartitioner) attempt(g *grid.Grid, cur *core.Repartitioned) (rp *core.Repartitioned, recompute bool, err error) {
+// ctx carries trace linkage only — see CurrentCtx.
+func (s *Repartitioner) attempt(ctx context.Context, g *grid.Grid, cur *core.Repartitioned) (rp *core.Repartitioned, recompute bool, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.opts.Obs.Count("stream.recompute_panics", 1)
@@ -392,7 +426,7 @@ func (s *Repartitioner) attempt(g *grid.Grid, cur *core.Repartitioned) (rp *core
 	}()
 
 	if cur != nil && compatiblePartition(g, cur.Partition) {
-		sp := s.opts.Obs.StartSpan("stream.refresh")
+		_, sp := s.opts.Obs.StartSpanCtx(ctx, "stream.refresh")
 		feats := core.AllocateFeaturesParallel(g, cur.Partition, s.opts.Workers)
 		ifl := core.IFLParallel(g, cur.Partition, feats, s.opts.Workers)
 		sp.End()
@@ -408,19 +442,27 @@ func (s *Repartitioner) attempt(g *grid.Grid, cur *core.Repartitioned) (rp *core
 	}
 
 	// The deadline context is created before the fault hook so an injected
-	// delay consumes the budget exactly like a slow real recompute would.
-	ctx := context.Background()
+	// delay consumes the budget exactly like a slow real recompute would. It
+	// derives from Background, NOT from ctx: the recompute is shared work and
+	// a request deadline must never cancel it.
+	runCtx := context.Background()
 	cancel := func() {}
 	if s.opts.RecomputeTimeout > 0 {
-		ctx, cancel = context.WithTimeout(ctx, s.opts.RecomputeTimeout)
+		runCtx, cancel = context.WithTimeout(runCtx, s.opts.RecomputeTimeout)
 	}
 	defer cancel()
 	if ferr := s.opts.Fault.Hit("stream.recompute"); ferr != nil {
 		return nil, false, fmt.Errorf("stream: recompute: %w", ferr)
 	}
-	sp := s.opts.Obs.StartSpan("stream.recompute")
+	rctx, sp := s.opts.Obs.StartSpanCtx(ctx, "stream.recompute")
+	// Graft the recompute span's trace context onto the deadline context so
+	// core's repart.run span joins the request tree without inheriting the
+	// request's cancellation.
+	if tc, ok := obs.TraceFromContext(rctx); ok {
+		runCtx = obs.ContextWithTrace(runCtx, tc)
+	}
 	start := time.Now()
-	rp, err = core.RepartitionCtx(ctx, g, core.Options{
+	rp, err = core.RepartitionCtx(runCtx, g, core.Options{
 		Threshold: s.opts.Threshold,
 		Schedule:  s.opts.Schedule,
 		Workers:   s.opts.Workers,
@@ -561,6 +603,10 @@ type Report struct {
 	ServedIFL    float64 `json:"served_ifl"`
 
 	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+	// Phases summarizes the span histograms (stream.current, stream.refresh,
+	// stream.recompute, rung.eval, …) with count/total/min/max and p50/p95/p99
+	// bucket estimates — the same shape core.RunReport uses.
+	Phases map[string]core.PhaseStat `json:"phases,omitempty"`
 }
 
 // Report summarizes the stream's current state.
@@ -597,6 +643,7 @@ func (s *Repartitioner) Report() Report {
 	if reg := s.opts.Obs.Registry(); reg != nil {
 		snap := reg.Snapshot()
 		r.Metrics = &snap
+		r.Phases = core.PhaseStatsFrom(snap)
 	}
 	return r
 }

@@ -1,0 +1,185 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"spatialrepart/internal/fault"
+	"spatialrepart/internal/grid"
+	"spatialrepart/internal/obs"
+)
+
+func fillStream(t *testing.T, s *Repartitioner, n int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		rec := grid.Record{
+			Lat:    rng.Float64() * 10,
+			Lon:    rng.Float64() * 10,
+			Values: []float64{1, rng.Float64() * 100},
+		}
+		if err := s.Add(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func spanAttr(e obs.SpanEvent, key string) (string, bool) {
+	for i := 0; i+1 < len(e.Attrs); i += 2 {
+		if e.Attrs[i] == key {
+			return e.Attrs[i+1], true
+		}
+	}
+	return "", false
+}
+
+// TestCurrentCtxConnectedTree pins the tracing tentpole's serve-side tree: a
+// traced CurrentCtx that triggers a full recompute deposits stream.current →
+// stream.recompute → repart.run spans in ONE trace, each child linked to its
+// parent, with the serve outcome in stream.current's attributes.
+func TestCurrentCtxConnectedTree(t *testing.T) {
+	o := obs.NewSeeded(1)
+	s, err := New(testBounds(), 8, 8, testAttrs(), Options{Threshold: 0.2, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillStream(t, s, 200, 7)
+	ctx, root := o.StartSpanCtx(context.Background(), "server.request")
+	v, err := s.CurrentCtx(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	rootTC, _ := obs.TraceFromContext(ctx)
+	byName := map[string]obs.SpanEvent{}
+	for _, e := range o.Flight().Snapshot() {
+		if e.Trace != rootTC.TraceID {
+			t.Fatalf("span %s landed in trace %s, want %s", e.Name, e.Trace, rootTC.TraceID)
+		}
+		if _, dup := byName[e.Name]; !dup {
+			byName[e.Name] = e
+		}
+	}
+	cur, okCur := byName["stream.current"]
+	rec, okRec := byName["stream.recompute"]
+	run, okRun := byName["repart.run"]
+	if !okCur || !okRec || !okRun {
+		t.Fatalf("missing spans: current=%v recompute=%v run=%v", okCur, okRec, okRun)
+	}
+	if cur.Parent != rootTC.SpanID {
+		t.Fatalf("stream.current parent %s, want request span %s", cur.Parent, rootTC.SpanID)
+	}
+	if rec.Parent != cur.Span {
+		t.Fatalf("stream.recompute parent %s, want stream.current %s", rec.Parent, cur.Span)
+	}
+	if run.Parent != rec.Span {
+		t.Fatalf("repart.run parent %s, want stream.recompute %s", run.Parent, rec.Span)
+	}
+	if src, _ := spanAttr(cur, "source"); src != "recompute" {
+		t.Errorf("stream.current source attr %q, want recompute", src)
+	}
+	if g, _ := spanAttr(cur, "generation"); g != strconv.Itoa(v.Generation) {
+		t.Errorf("generation attr %q, want %d", g, v.Generation)
+	}
+	if d, _ := spanAttr(cur, "degraded"); d != "false" {
+		t.Errorf("degraded attr %q, want false", d)
+	}
+}
+
+// TestCurrentCtxDegradedAttrsShowStaleGeneration: when a recompute fails and
+// the last-good view is served, the trace records that the serve was degraded
+// and WHICH generation it fell back to.
+func TestCurrentCtxDegradedAttrsShowStaleGeneration(t *testing.T) {
+	o := obs.NewSeeded(2)
+	inj := fault.New(1)
+	s, err := New(testBounds(), 8, 8, testAttrs(), Options{Threshold: 0.2, Obs: o, Fault: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillStream(t, s, 200, 9)
+	good, err := s.Current() // untraced warm-up install
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillStream(t, s, 50, 10) // force a fresh attempt next call
+	inj.Set("stream.recompute", fault.Plan{First: 0, Count: 1, Err: errors.New("boom")})
+
+	ctx, root := o.StartSpanCtx(context.Background(), "server.request")
+	v, err := s.CurrentCtx(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	if !v.Degraded || v.Generation != good.Generation {
+		t.Fatalf("view degraded=%v gen=%d, want degraded serve of gen %d", v.Degraded, v.Generation, good.Generation)
+	}
+	var cur *obs.SpanEvent
+	for _, e := range o.Flight().Snapshot() {
+		if e.Name == "stream.current" {
+			e := e
+			cur = &e
+		}
+	}
+	if cur == nil {
+		t.Fatal("no stream.current span recorded")
+	}
+	if d, _ := spanAttr(*cur, "degraded"); d != "true" {
+		t.Errorf("degraded attr %q, want true", d)
+	}
+	if src, _ := spanAttr(*cur, "source"); src != "degraded" {
+		t.Errorf("source attr %q, want degraded", src)
+	}
+	if g, _ := spanAttr(*cur, "generation"); g != strconv.Itoa(good.Generation) {
+		t.Errorf("generation attr %q, want the stale generation %d", g, good.Generation)
+	}
+}
+
+// TestCurrentCtxRequestCancelDoesNotCancelRecompute: the request context is
+// trace linkage only — an already-canceled request still gets a freshly
+// computed view, because the shared recompute derives its deadline from
+// RecomputeTimeout, not from the caller.
+func TestCurrentCtxRequestCancelDoesNotCancelRecompute(t *testing.T) {
+	o := obs.NewSeeded(3)
+	s, err := New(testBounds(), 8, 8, testAttrs(), Options{Threshold: 0.2, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillStream(t, s, 200, 11)
+	ctx, cancel := context.WithCancel(context.Background())
+	tctx, sp := o.StartSpanCtx(ctx, "server.request")
+	cancel() // request gone before the serve even starts
+	v, err := s.CurrentCtx(tctx)
+	sp.End()
+	if err != nil {
+		t.Fatalf("canceled request context canceled the shared recompute: %v", err)
+	}
+	if v.Repartitioned == nil || v.Degraded {
+		t.Fatalf("view %+v, want a fresh non-degraded view", v)
+	}
+}
+
+// TestReportPhasesQuantiles: the stream report exposes phase summaries with
+// percentile estimates for the serving spans.
+func TestReportPhasesQuantiles(t *testing.T) {
+	o := obs.NewSeeded(4)
+	s, err := New(testBounds(), 8, 8, testAttrs(), Options{Threshold: 0.2, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillStream(t, s, 200, 12)
+	if _, err := s.Current(); err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Report()
+	ps, ok := rep.Phases["stream.current"]
+	if !ok {
+		t.Fatalf("report phases %v lack stream.current", rep.Phases)
+	}
+	if ps.Count < 1 || ps.P50NS < ps.MinNS || ps.P99NS > ps.MaxNS {
+		t.Fatalf("implausible phase stats %+v", ps)
+	}
+}
