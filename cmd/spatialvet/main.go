@@ -4,11 +4,17 @@
 //	go run ./cmd/spatialvet ./...
 //
 // It loads and type-checks the module using only the standard library
-// (go/parser, go/types, go/importer), runs the repo-specific analyzers
-// — maporder, lockcall, spanend, floateq, globalrand, errdrop,
-// panicsite — and prints one "file:line:col: analyzer: message" line
-// per finding. The exit status is 1 when findings remain, 2 on usage
-// or load errors, 0 on a clean tree.
+// (go/parser, go/types, go/importer), builds the module-wide call graph,
+// runs the repo-specific analyzers — the per-package passes (maporder,
+// lockcall, spanend, floateq, globalrand, errdrop, panicsite,
+// clockdirect, goroleak, atomicmix) and the interprocedural ones
+// (lockorder, ctxflow) — and prints one "file:line:col: analyzer:
+// message" line per finding. -json emits the findings as a JSON array,
+// -sarif as a SARIF 2.1.0 log for code-scanning uploads; both are
+// byte-deterministic across runs of the same tree.
+//
+// Exit status: 0 on a clean tree, 1 when findings remain, 2 on usage,
+// load, or type-check errors.
 //
 // Findings are suppressed in source with a justified directive:
 //
@@ -20,6 +26,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,14 +44,23 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("spatialvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	sarifOut := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log on stdout")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: spatialvet [-list] [packages]\n\n")
+		fmt.Fprintf(stderr, "usage: spatialvet [-list] [-json|-sarif] [packages]\n\n")
 		fmt.Fprintf(stderr, "Analyzes the Go module containing the current directory. Package\n")
 		fmt.Fprintf(stderr, "arguments are ./-relative path patterns (a trailing /... matches the\n")
 		fmt.Fprintf(stderr, "subtree); with no arguments, or with ./..., the whole module is vetted.\n\n")
+		fmt.Fprintf(stderr, "Exit status: 0 on a clean tree, 1 when findings remain, 2 on usage,\n")
+		fmt.Fprintf(stderr, "load, or type-check errors.\n\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "spatialvet: -json and -sarif are mutually exclusive")
+		fs.Usage()
 		return 2
 	}
 	if *list {
@@ -67,24 +83,56 @@ func run(args []string, stdout, stderr *os.File) int {
 	pkgs = filterPackages(pkgs, root, fs.Args())
 	diags := analysis.RunAnalyzers(pkgs, analysis.Analyzers(), analysis.DefaultConfig())
 
-	cwd, err := os.Getwd()
-	if err != nil {
-		cwd = "" // fall back to absolute paths in the report
-	}
-	for _, d := range diags {
-		file := d.Pos.Filename
-		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
-				file = rel
-			}
+	switch {
+	case *jsonOut:
+		if err := writeJSON(stdout, analysis.JSONDiagnostics(diags, relTo(root))); err != nil {
+			fmt.Fprintln(stderr, "spatialvet:", err)
+			return 2
 		}
-		fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", file, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	case *sarifOut:
+		if err := writeJSON(stdout, analysis.SARIF(diags, analysis.Analyzers(), relTo(root))); err != nil {
+			fmt.Fprintln(stderr, "spatialvet:", err)
+			return 2
+		}
+	default:
+		cwd, err := os.Getwd()
+		if err != nil {
+			cwd = "" // fall back to absolute paths in the report
+		}
+		for _, d := range diags {
+			file := d.Pos.Filename
+			if cwd != "" {
+				if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+					file = rel
+				}
+			}
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", file, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "spatialvet: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0
+}
+
+// relTo maps an absolute filename to a module-root-relative slash path
+// (the stable URI form -json and -sarif emit); files outside the module
+// keep their absolute path.
+func relTo(root string) func(string) string {
+	return func(file string) string {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+		return file
+	}
+}
+
+// writeJSON encodes v indented to w with a trailing newline.
+func writeJSON(w *os.File, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }
 
 // filterPackages keeps the packages matching the ./-relative patterns.

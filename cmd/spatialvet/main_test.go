@@ -1,7 +1,9 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -70,5 +72,141 @@ func TestBadFlag(t *testing.T) {
 	})
 	if code != 2 {
 		t.Errorf("spatialvet -nosuchflag = exit %d, want 2", code)
+	}
+}
+
+func TestJSONSarifExclusive(t *testing.T) {
+	var code int
+	capture(t, func(out *os.File) {
+		capture(t, func(errf *os.File) {
+			code = run([]string{"-json", "-sarif"}, out, errf)
+		})
+	})
+	if code != 2 {
+		t.Errorf("spatialvet -json -sarif = exit %d, want 2", code)
+	}
+}
+
+// runInModule writes files into a fresh temp module, chdirs there, and
+// runs spatialvet with args.
+func runInModule(t *testing.T, files map[string]string, args ...string) (code int, stdout string) {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module tmpmod\n\ngo 1.22\n"
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(old); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	stdout = capture(t, func(out *os.File) {
+		capture(t, func(errf *os.File) {
+			code = run(args, out, errf)
+		})
+	})
+	return code, stdout
+}
+
+// TestExitCodeTypeError pins exit 2 on a module that fails to
+// type-check: load errors and findings must stay distinguishable.
+func TestExitCodeTypeError(t *testing.T) {
+	code, _ := runInModule(t, map[string]string{
+		"main.go": "package main\n\nfunc main() { var x int = \"not an int\"; _ = x }\n",
+	})
+	if code != 2 {
+		t.Errorf("type error = exit %d, want 2", code)
+	}
+}
+
+// TestExitCodeFindings pins exit 1 when the tree loads cleanly but
+// analyzers (here: the directive audit) report findings.
+func TestExitCodeFindings(t *testing.T) {
+	code, _ := runInModule(t, map[string]string{
+		"main.go": "package main\n\n//spatialvet:ignore nosuchanalyzer because\nfunc main() {}\n",
+	})
+	if code != 1 {
+		t.Errorf("finding = exit %d, want 1", code)
+	}
+}
+
+// TestJSONFindings checks the -json shape on a module with one known
+// finding.
+func TestJSONFindings(t *testing.T) {
+	code, stdout := runInModule(t, map[string]string{
+		"main.go": "package main\n\n//spatialvet:ignore nosuchanalyzer because\nfunc main() {}\n",
+	}, "-json")
+	if code != 1 {
+		t.Fatalf("-json with a finding = exit %d, want 1", code)
+	}
+	var diags []analysis.JSONDiagnostic
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, stdout)
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "directive" || diags[0].File != "main.go" {
+		t.Errorf("unexpected -json findings: %+v", diags)
+	}
+}
+
+// TestSARIFRepository runs -sarif over the repository itself: the log
+// must parse back through encoding/json with rule metadata for every
+// analyzer, and — the tree being clean — zero results.
+func TestSARIFRepository(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	var code int
+	stdout := capture(t, func(out *os.File) {
+		capture(t, func(errf *os.File) {
+			code = run([]string{"-sarif", "./..."}, out, errf)
+		})
+	})
+	if code != 0 {
+		t.Fatalf("spatialvet -sarif ./... = exit %d, want 0\n%s", code, stdout)
+	}
+	var log analysis.SarifLog
+	if err := json.Unmarshal([]byte(stdout), &log); err != nil {
+		t.Fatalf("-sarif output does not parse: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("unexpected log shape: version %q, %d runs", log.Version, len(log.Runs))
+	}
+	if want := len(analysis.Analyzers()) + 1; len(log.Runs[0].Tool.Driver.Rules) != want {
+		t.Errorf("got %d rules, want %d", len(log.Runs[0].Tool.Driver.Rules), want)
+	}
+	if len(log.Runs[0].Results) != 0 {
+		t.Errorf("repository tree should be clean, got %d results", len(log.Runs[0].Results))
+	}
+}
+
+// TestJSONDeterministic runs -json twice over the repository and
+// requires byte-identical output — the same property CI checks.
+func TestJSONDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module twice")
+	}
+	runOnce := func() (int, string) {
+		var code int
+		stdout := capture(t, func(out *os.File) {
+			capture(t, func(errf *os.File) {
+				code = run([]string{"-json", "./..."}, out, errf)
+			})
+		})
+		return code, stdout
+	}
+	c1, o1 := runOnce()
+	c2, o2 := runOnce()
+	if c1 != c2 || o1 != o2 {
+		t.Errorf("two -json runs differ: exit %d vs %d\n--- run 1\n%s\n--- run 2\n%s", c1, c2, o1, o2)
 	}
 }

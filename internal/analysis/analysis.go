@@ -27,11 +27,14 @@ import (
 	"strings"
 )
 
-// Analyzer is one named check run over a type-checked package.
+// Analyzer is one named check. Per-package analyzers set Run and are
+// invoked once per package; interprocedural analyzers set RunModule and
+// are invoked once over the whole load with the shared call graph.
 type Analyzer struct {
-	Name string // short lower-case identifier used in output and directives
-	Doc  string // one-line description of the guarded invariant
-	Run  func(*Pass)
+	Name      string // short lower-case identifier used in output and directives
+	Doc       string // one-line description of the guarded invariant
+	Run       func(*Pass)
+	RunModule func(*ModulePass)
 }
 
 // Config carries the repo-specific knowledge the analyzers need. The
@@ -46,6 +49,17 @@ type Config struct {
 	// FloatEqPkgs lists package-path suffixes (the numeric kernels) in
 	// which float ==/!= comparisons are flagged.
 	FloatEqPkgs []string
+	// HandlerPkgs lists package-path suffixes whose HTTP-handler-shaped
+	// functions (parameters (http.ResponseWriter, *http.Request), or
+	// methods named ServeHTTP) are the ctxflow roots: everything
+	// reachable from them is a request path that must propagate its
+	// context instead of minting context.Background()/TODO().
+	HandlerPkgs []string
+	// ClockPkgs lists package-path suffixes that inject their time
+	// source (server.Clock, stream's now func) for the fake-clock chaos
+	// suites; direct time.Now/Sleep/After/... there silently escapes the
+	// fake clock and is flagged by clockdirect.
+	ClockPkgs []string
 }
 
 // DefaultConfig returns the configuration spatialvet runs with over
@@ -73,10 +87,22 @@ func DefaultConfig() Config {
 			"internal/mat",
 			"internal/regress",
 		},
+		HandlerPkgs: []string{
+			"internal/server",
+		},
+		ClockPkgs: []string{
+			// server injects Clock; stream injects its now func. internal/obs
+			// is deliberately absent: its fake-clock hook is the ticks
+			// channel, and span timestamps are wall-clock by design.
+			"internal/server",
+			"internal/stream",
+		},
 	}
 }
 
-// Analyzers returns the full suite in a stable order.
+// Analyzers returns the full suite in a stable order: the seven
+// per-function analyzers first, then the five interprocedural/concurrency
+// analyzers built for the multi-shard serving path.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		analyzerMapOrder,
@@ -86,6 +112,11 @@ func Analyzers() []*Analyzer {
 		analyzerGlobalRand,
 		analyzerErrDrop,
 		analyzerPanicSite,
+		analyzerLockOrder,
+		analyzerCtxFlow,
+		analyzerClockDirect,
+		analyzerGoroLeak,
+		analyzerAtomicMix,
 	}
 }
 
@@ -130,15 +161,46 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// RunAnalyzers runs every analyzer over every package, applies the
-// //spatialvet:ignore directives, and returns the surviving diagnostics
-// sorted by position. Directive misuse (unknown analyzer name, missing
-// reason) surfaces as diagnostics from the pseudo-analyzer "directive".
+// ModulePass is the context handed to an interprocedural analyzer's
+// RunModule: every loaded package plus the shared call graph.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+	Graph    *CallGraph
+	Cfg      Config
+
+	diags *[]Diagnostic
+}
+
+// ReportfAt records a finding at pos, resolved through pkg's FileSet.
+func (p *ModulePass) ReportfAt(pkg *Package, pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// RunAnalyzers runs every analyzer — per-package analyzers over each
+// package, interprocedural analyzers once over the shared call graph —
+// applies the //spatialvet:ignore directives, and returns the surviving
+// diagnostics sorted by position. Directive misuse (unknown analyzer
+// name, missing reason) and stale directives (a suppression that no
+// longer matches any diagnostic of an analyzer that ran) surface as
+// diagnostics from the pseudo-analyzer "directive".
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, cfg Config) []Diagnostic {
-	var diags []Diagnostic
+	var raw []Diagnostic
+	var moduleAnalyzers []*Analyzer
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			moduleAnalyzers = append(moduleAnalyzers, a)
+		}
+	}
 	for _, pkg := range pkgs {
-		var pkgDiags []Diagnostic
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
@@ -146,14 +208,30 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, cfg Config) []Diagnost
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
 				Cfg:      cfg,
-				diags:    &pkgDiags,
+				diags:    &raw,
 			}
 			a.Run(pass)
 		}
-		dirs, misuses := directivesAndMisuses(pkg, analyzers)
-		diags = append(diags, filterSuppressed(pkgDiags, dirs)...)
+	}
+	if len(moduleAnalyzers) > 0 {
+		graph := BuildCallGraph(pkgs)
+		for _, a := range moduleAnalyzers {
+			mp := &ModulePass{Analyzer: a, Pkgs: pkgs, Graph: graph, Cfg: cfg, diags: &raw}
+			a.RunModule(mp)
+		}
+	}
+
+	var dirs []directive
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		d, misuses := directivesAndMisuses(pkg, analyzers)
+		dirs = append(dirs, d...)
 		diags = append(diags, misuses...)
 	}
+	kept, used := filterSuppressed(raw, dirs)
+	diags = append(diags, kept...)
+	diags = append(diags, staleDirectives(dirs, used, analyzers)...)
+
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -165,7 +243,10 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, cfg Config) []Diagnost
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 	return diags
 }

@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// atomicmix flags the half-atomic variable: a field or variable that one
+// site accesses through sync/atomic (atomic.AddInt64(&s.n, 1)) and
+// another reads or writes plainly (s.n++ or v := s.n). The atomic call
+// documents that the variable is touched concurrently; the plain access
+// then races — and unlike a missed lock, this class survives light
+// -race runs because the racing pair must interleave on the same word.
+// The typed atomics (atomic.Int64 etc.) are immune by construction and
+// are what the repo's own code uses; this analyzer exists to keep raw
+// atomic.* calls from creeping in half-converted.
+//
+// Scope is one package: the fields the repo guards this way are
+// unexported, so cross-package mixing cannot compile anyway.
+var analyzerAtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "variable accessed via sync/atomic at one site and plainly at another",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) {
+	// Pass 1: every object whose address is taken as the first argument
+	// of a sync/atomic function, plus the positions of those sanctioned
+	// expressions (any argument position: CompareAndSwap/Store take the
+	// address first, but be permissive about helper wrappers).
+	atomicObjs := map[types.Object]token.Pos{} // object -> first atomic site
+	sanctioned := map[ast.Expr]bool{}          // the &x operand expressions inside atomic calls
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFuncCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				target := ast.Unparen(un.X)
+				obj := accessedObject(pass, target)
+				if obj == nil {
+					continue
+				}
+				sanctioned[target] = true
+				if _, seen := atomicObjs[obj]; !seen {
+					atomicObjs[obj] = call.Pos()
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return
+	}
+
+	// Pass 2: every other access to those objects is a finding.
+	type finding struct {
+		pos  token.Pos
+		name string
+	}
+	var finds []finding
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var expr ast.Expr
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				expr = x
+			case *ast.Ident:
+				expr = x
+			default:
+				return true
+			}
+			if sanctioned[expr] {
+				return false
+			}
+			obj := accessedObject(pass, expr)
+			if obj == nil {
+				return true
+			}
+			if _, isAtomic := atomicObjs[obj]; !isAtomic {
+				return true
+			}
+			finds = append(finds, finding{pos: expr.Pos(), name: obj.Name()})
+			return false
+		})
+	}
+	sort.Slice(finds, func(i, j int) bool { return finds[i].pos < finds[j].pos })
+	for _, fd := range finds {
+		pass.Reportf(fd.pos, "plain access to %s, which is accessed via sync/atomic elsewhere in this package: this pair races — use the atomic API (or a typed atomic) everywhere", fd.name)
+	}
+}
+
+// accessedObject resolves an expression naming a variable or struct
+// field to its object: s.n -> the field n, x -> the var x. Non-variable
+// results (functions, package names, types) return nil.
+func accessedObject(pass *Pass, expr ast.Expr) types.Object {
+	switch x := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+		return nil
+	case *ast.Ident:
+		if x.Name == "_" {
+			return nil
+		}
+		// Uses only: a declaration site (Defs) is not an access — the
+		// initial write happens-before any goroutine can see the address.
+		if v, ok := pass.Info.Uses[x].(*types.Var); ok && !v.IsField() {
+			return v
+		}
+		return nil
+	}
+	return nil
+}
+
+// isAtomicFuncCall reports whether call invokes a function from package
+// sync/atomic (the free functions; typed-atomic methods take no address
+// and never mix).
+func isAtomicFuncCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkgID, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.Info.Uses[pkgID].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// edgesOf flattens a call graph to "caller -> callee" strings, sorted.
+func edgesOf(g *CallGraph) []string {
+	var out []string
+	for _, n := range g.Nodes {
+		for _, cs := range n.Calls() {
+			for _, callee := range cs.Callees {
+				out = append(out, fmt.Sprintf("%s -> %s", n.ID, callee.ID))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func hasEdge(edges []string, from, to string) bool {
+	want := from + " -> " + to
+	for _, e := range edges {
+		if e == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCallGraphDispatch pins the resolution rules on the callgraph
+// fixture: static calls, interface dispatch fanning out to every
+// implementing type (and ONLY implementing types), dynamic calls
+// through function values reaching every signature-compatible taken
+// function, and closures as first-class nodes.
+func TestCallGraphDispatch(t *testing.T) {
+	pkg := loadTestPkg(t, "callgraph")
+	g := BuildCallGraph([]*Package{pkg})
+	edges := edgesOf(g)
+
+	mustHave := [][2]string{
+		{"callgraph.static", "callgraph.helper"},
+		// Interface dispatch: both implementations.
+		{"callgraph.viaInterface", "callgraph.(english).greet"},
+		{"callgraph.viaInterface", "callgraph.(french).greet"},
+		// Dynamic call through a function value: every taken function
+		// with a compatible signature.
+		{"callgraph.dynamic", "callgraph.helper"},
+		{"callgraph.dynamic", "callgraph.notAGreeter"},
+		// The closure is its own node and its body's calls resolve.
+		{"callgraph.hasClosure$1", "callgraph.helper"},
+	}
+	for _, e := range mustHave {
+		if !hasEdge(edges, e[0], e[1]) {
+			t.Errorf("missing edge %s -> %s\nedges:\n  %s", e[0], e[1], strings.Join(edges, "\n  "))
+		}
+	}
+
+	// Interface dispatch goes through method sets, not signatures: the
+	// signature-compatible plain function is not a greeter.
+	if hasEdge(edges, "callgraph.viaInterface", "callgraph.notAGreeter") {
+		t.Errorf("interface dispatch leaked to a non-implementing function")
+	}
+}
+
+// TestCallGraphDeterministic builds the graph twice and requires
+// byte-identical edge lists — the foundation of the CI determinism
+// check on spatialvet -json output.
+func TestCallGraphDeterministic(t *testing.T) {
+	pkg := loadTestPkg(t, "callgraph")
+	a := edgesOf(BuildCallGraph([]*Package{pkg}))
+	b := edgesOf(BuildCallGraph([]*Package{pkg}))
+	if strings.Join(a, "\n") != strings.Join(b, "\n") {
+		t.Errorf("two builds of the same call graph differ:\n%v\n---\n%v", a, b)
+	}
+}
+
+// TestCallGraphReachable pins ReachableFrom: the interface-dispatch
+// fan-out is reachable, unconnected functions are not.
+func TestCallGraphReachable(t *testing.T) {
+	pkg := loadTestPkg(t, "callgraph")
+	g := BuildCallGraph([]*Package{pkg})
+	var root *FuncNode
+	for _, n := range g.Nodes {
+		if n.ID == "callgraph.viaInterface" {
+			root = n
+		}
+	}
+	if root == nil {
+		t.Fatal("no node callgraph.viaInterface")
+	}
+	reached := g.ReachableFrom([]*FuncNode{root})
+	wantReached := map[string]bool{
+		"callgraph.viaInterface":    true,
+		"callgraph.(english).greet": true,
+		"callgraph.(french).greet":  true,
+		"callgraph.static":          false,
+		"callgraph.helper":          false,
+		"callgraph.notAGreeter":     false,
+	}
+	for _, n := range g.Nodes {
+		want, pinned := wantReached[n.ID]
+		if pinned && reached[n] != want {
+			t.Errorf("ReachableFrom(viaInterface)[%s] = %v, want %v", n.ID, reached[n], want)
+		}
+	}
+}

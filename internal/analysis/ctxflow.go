@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ctxflow is interprocedural: starting from the HTTP-handler-shaped
+// functions of Config.HandlerPkgs (parameters (http.ResponseWriter,
+// *http.Request) — declared or closure — or methods named ServeHTTP),
+// it walks the module call graph and flags every reachable call to
+// context.Background() or context.TODO(). A request path that mints a
+// fresh root context has silently detached from its request: the
+// deadline, cancellation, and trace context the serving layer threads
+// through stop propagating at that call, which is exactly how a shed
+// request keeps burning a backend, or a traced request loses its
+// subtree. The one sanctioned detachment — the stream recompute graft,
+// where shared work must outlive any single request — carries a
+// //spatialvet:ignore ctxflow with its reason.
+//
+// The call graph is conservative (interface calls fan out to every
+// module implementation, function-value calls to every signature-
+// compatible taken function), so "reachable" can overshoot; it does not
+// undershoot except through reflection or stdlib-mediated callbacks
+// (see callgraph.go).
+var analyzerCtxFlow = &Analyzer{
+	Name:      "ctxflow",
+	Doc:       "context.Background()/TODO() on a path reachable from HTTP handlers",
+	RunModule: runCtxFlow,
+}
+
+func runCtxFlow(mp *ModulePass) {
+	if len(mp.Cfg.HandlerPkgs) == 0 {
+		return
+	}
+	var roots []*FuncNode
+	for _, n := range mp.Graph.Nodes {
+		if !pkgMatchesAny(n.Pkg.Path, mp.Cfg.HandlerPkgs) {
+			continue
+		}
+		if isHandlerShaped(n) {
+			roots = append(roots, n)
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+	reached := mp.Graph.ReachableFrom(roots)
+
+	for _, n := range mp.Graph.Nodes { // sorted by ID: deterministic
+		if !reached[n] || n.Body() == nil {
+			continue
+		}
+		info := n.Pkg.Info
+		ast.Inspect(n.Body(), func(x ast.Node) bool {
+			if _, isLit := x.(*ast.FuncLit); isLit {
+				return false // nested literals are their own nodes
+			}
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+				return true
+			}
+			pkgID, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if pn, ok := info.Uses[pkgID].(*types.PkgName); !ok || pn.Imported().Path() != "context" {
+				return true
+			}
+			mp.ReportfAt(n.Pkg, call.Pos(), "context.%s() in %s, which is reachable from HTTP handlers: the request's deadline, cancellation, and trace stop here — propagate the caller's ctx", sel.Sel.Name, shortNodeName(n.ID))
+			return true
+		})
+	}
+}
+
+// pkgMatchesAny reports whether path ends with any of the
+// '/'-component-aligned suffixes.
+func pkgMatchesAny(path string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if pkgPathHasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// isHandlerShaped reports whether a node looks like an HTTP handler: a
+// method named ServeHTTP, or any function/closure whose parameter list
+// contains net/http.ResponseWriter followed by *net/http.Request.
+func isHandlerShaped(n *FuncNode) bool {
+	if n.Obj != nil && n.Obj.Name() == "ServeHTTP" && n.Sig.Recv() != nil {
+		return true
+	}
+	if n.Sig == nil {
+		return false
+	}
+	params := n.Sig.Params()
+	for i := 0; i+1 < params.Len(); i++ {
+		if isNetHTTPNamed(params.At(i).Type(), "ResponseWriter") && isPtrToNetHTTPNamed(params.At(i+1).Type(), "Request") {
+			return true
+		}
+	}
+	return false
+}
+
+func isNetHTTPNamed(t types.Type, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == name
+}
+
+func isPtrToNetHTTPNamed(t types.Type, name string) bool {
+	p, ok := t.(*types.Pointer)
+	return ok && isNetHTTPNamed(p.Elem(), name)
+}

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"fmt"
+	"go/token"
 	"strings"
 )
 
@@ -22,6 +23,7 @@ type directive struct {
 	analyzer string
 	file     string
 	line     int
+	pos      token.Position // the directive comment itself, for stale reports
 }
 
 // directivesAndMisuses scans a package's comments for suppression
@@ -67,7 +69,7 @@ func directivesAndMisuses(pkg *Package, analyzers []*Analyzer) ([]directive, []D
 						Message:  fmt.Sprintf("spatialvet:ignore %s needs a reason", fields[0]),
 					})
 				default:
-					dirs = append(dirs, directive{analyzer: fields[0], file: pos.Filename, line: pos.Line})
+					dirs = append(dirs, directive{analyzer: fields[0], file: pos.Filename, line: pos.Line, pos: pos})
 				}
 			}
 		}
@@ -82,22 +84,53 @@ type suppressionKey struct {
 	line     int
 }
 
-// filterSuppressed drops diagnostics covered by a directive.
-func filterSuppressed(diags []Diagnostic, dirs []directive) []Diagnostic {
+// filterSuppressed drops diagnostics covered by a directive. The second
+// result marks, by index into dirs, every directive that suppressed at
+// least one diagnostic (a diagnostic covered by overlapping directives
+// credits all of them) — the input to the stale-suppression audit.
+func filterSuppressed(diags []Diagnostic, dirs []directive) ([]Diagnostic, []bool) {
+	used := make([]bool, len(dirs))
 	if len(dirs) == 0 {
-		return diags
+		return diags, used
 	}
-	covered := make(map[suppressionKey]bool, 2*len(dirs))
-	for _, d := range dirs {
-		covered[suppressionKey{d.file, d.analyzer, d.line}] = true
-		covered[suppressionKey{d.file, d.analyzer, d.line + 1}] = true
+	covered := make(map[suppressionKey][]int, 2*len(dirs))
+	for i, d := range dirs {
+		covered[suppressionKey{d.file, d.analyzer, d.line}] = append(covered[suppressionKey{d.file, d.analyzer, d.line}], i)
+		covered[suppressionKey{d.file, d.analyzer, d.line + 1}] = append(covered[suppressionKey{d.file, d.analyzer, d.line + 1}], i)
 	}
 	kept := diags[:0]
 	for _, d := range diags {
-		if covered[suppressionKey{d.Pos.Filename, d.Analyzer, d.Pos.Line}] {
+		if idx := covered[suppressionKey{d.Pos.Filename, d.Analyzer, d.Pos.Line}]; len(idx) > 0 {
+			for _, i := range idx {
+				used[i] = true
+			}
 			continue
 		}
 		kept = append(kept, d)
 	}
-	return kept
+	return kept, used
+}
+
+// staleDirectives reports every directive that suppressed nothing even
+// though its analyzer ran: as code moves, a suppression whose finding is
+// gone is pure rot — it would silently swallow the NEXT real finding
+// that drifts onto its line. Directives naming analyzers outside this
+// run are left alone (a partial run proves nothing about them).
+func staleDirectives(dirs []directive, used []bool, analyzers []*Analyzer) []Diagnostic {
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	var out []Diagnostic
+	for i, d := range dirs {
+		if used[i] || !ran[d.analyzer] {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:      d.pos,
+			Analyzer: "directive",
+			Message:  fmt.Sprintf("stale spatialvet:ignore %s: it suppresses nothing on this line or the next — remove it", d.analyzer),
+		})
+	}
+	return out
 }

@@ -118,6 +118,43 @@ func TestFloatEqGolden(t *testing.T) {
 	runGolden(t, "floateq", Config{FloatEqPkgs: []string{"floateq"}})
 }
 
+func TestGoroLeakGolden(t *testing.T)  { runGolden(t, "goroleak", Config{}) }
+func TestAtomicMixGolden(t *testing.T) { runGolden(t, "atomicmix", Config{}) }
+func TestLockOrderGolden(t *testing.T) { runGolden(t, "lockorder", Config{}) }
+
+func TestClockDirectGolden(t *testing.T) {
+	runGolden(t, "clockdirect", Config{ClockPkgs: []string{"clockdirect"}})
+}
+
+func TestCtxFlowGolden(t *testing.T) {
+	runGolden(t, "ctxflow", Config{HandlerPkgs: []string{"ctxflow"}})
+}
+
+// TestStaleDirectives checks the stale-suppression audit: a directive
+// that suppresses nothing for an analyzer that ran is itself reported;
+// a used directive is not; a directive naming an analyzer absent from
+// the run is left alone (its usefulness is unknown).
+func TestStaleDirectives(t *testing.T) {
+	pkg := loadTestPkg(t, "stale")
+	a := analyzerByName(t, "panicsite")
+	diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{a}, Config{})
+
+	var stale []Diagnostic
+	for _, d := range diags {
+		if d.Analyzer != "directive" || !strings.Contains(d.Message, "stale") {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		stale = append(stale, d)
+	}
+	if len(stale) != 1 {
+		t.Fatalf("got %d stale-directive findings, want exactly 1: %v", len(stale), stale)
+	}
+	if !strings.Contains(stale[0].Message, "stale spatialvet:ignore panicsite") {
+		t.Errorf("stale finding names the wrong directive: %s", stale[0])
+	}
+}
+
 // TestSuppressionDirectives checks the directive semantics end to end:
 // justified directives silence the finding (same line or line above),
 // while a directive naming an unknown analyzer or missing its reason is

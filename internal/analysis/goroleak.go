@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// goroleak flags `go` statements that launch a goroutine with no visible
+// cancellation edge: nothing in the spawned body (or the same-package
+// function it calls) receives from a channel, selects, sends, watches
+// ctx.Done(), or participates in a sync.WaitGroup. Such a goroutine has
+// no way to be told to stop and no way for anyone to wait for it — under
+// the multi-shard cluster (ROADMAP item 2) that is a leak per request or
+// per reconnect, invisible until goroutine counts climb in production.
+//
+// The check is shape-based, not a liveness proof: a goroutine that
+// provably terminates on its own (a one-shot side effect) still needs
+// either an edge or a //spatialvet:ignore goroleak <reason> documenting
+// who owns its lifecycle — the same contract the errdrop suppressions on
+// the http.Server.Serve launchers already follow. Bodies outside the
+// package (a method of another package, a function value) are skipped
+// rather than guessed at.
+var analyzerGoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "goroutine launched with no cancellation edge (ctx.Done, channel, WaitGroup)",
+	Run:  runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body, desc := goBody(pass, f, g.Call)
+			if body == nil {
+				return true
+			}
+			if !hasCancellationEdge(pass, body) {
+				pass.Reportf(g.Pos(), "goroutine %s has no cancellation edge (no ctx.Done, channel op, select, or WaitGroup): nothing can stop or await it", desc)
+			}
+			return true
+		})
+	}
+}
+
+// goBody resolves the body the go statement will run: a function
+// literal's own body, or the body of a same-package function/method.
+func goBody(pass *Pass, file *ast.File, call *ast.CallExpr) (*ast.BlockStmt, string) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body, "func literal"
+	case *ast.Ident:
+		if fn, ok := pass.Info.Uses[fun].(*types.Func); ok {
+			if body := declBodyOf(pass, fn); body != nil {
+				return body, fn.Name()
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok {
+			if body := declBodyOf(pass, fn); body != nil {
+				return body, fn.Name()
+			}
+		}
+	}
+	return nil, ""
+}
+
+// declBodyOf finds the body of a function declared in this package.
+func declBodyOf(pass *Pass, fn *types.Func) *ast.BlockStmt {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if pass.Info.Defs[fd.Name] == fn {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// hasCancellationEdge reports whether body contains any construct that
+// can stop the goroutine or let another goroutine await it: a channel
+// receive or send (including range-over-channel), a select, a
+// ctx.Done() call, or any sync.WaitGroup method. Nested literals are
+// included — an edge inside a closure the goroutine runs still bounds
+// its lifetime.
+func hasCancellationEdge(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.RangeStmt:
+			if tv, ok := pass.Info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if isLifecycleCall(pass, n) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isLifecycleCall reports whether call is ctx.Done() on a
+// context.Context or any method on a sync.WaitGroup.
+func isLifecycleCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := pass.Info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch {
+	case obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup":
+		return true
+	case obj.Pkg().Path() == "context" && obj.Name() == "Context" && sel.Sel.Name == "Done":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,422 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockorder is the interprocedural deadlock check: it classifies every
+// sync.Mutex/RWMutex acquisition by its *lock class* (the struct field
+// or package variable holding the mutex — instance-insensitive), builds
+// the module-wide held-while-acquiring relation, and reports every edge
+// that participates in a cycle. An AB/BA cycle in that relation is a
+// potential deadlock the chaos suites can only catch by luck: two
+// goroutines must interleave exactly wrong, which they reliably do in
+// production and rarely do in CI.
+//
+// The relation is built in two layers:
+//
+//   - intraprocedural: within one function body, Lock/RLock on class B
+//     while class A is held adds A->B (held-ness uses the same
+//     source-order approximation as lockcall: a deferred Unlock holds to
+//     function end, a plain Unlock releases at its line);
+//   - interprocedural: a call made while A is held adds A->B for every
+//     class B the callee may (transitively, over the conservative call
+//     graph) acquire.
+//
+// RLock counts as acquiring its class: Go's RWMutex blocks new readers
+// while a writer waits, so reader-reader cycles deadlock too. Self-edges
+// (re-acquiring the same class) are NOT reported — distinct instances of
+// one class (two shards' mutexes) legitimately nest; a true recursive
+// lock on one instance is better caught by a test hang than by flagging
+// every sharded design.
+var analyzerLockOrder = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "cycle in the module-wide mutex held-while-acquiring relation (potential deadlock)",
+	RunModule: runLockOrder,
+}
+
+// lockAcq records how a node may come to acquire a class: directly at
+// pos, or transitively through via.
+type lockAcq struct {
+	pos token.Pos
+	via *FuncNode // nil for direct acquisitions
+}
+
+// lockEdge is one held-while-acquiring observation.
+type lockEdge struct {
+	from, to string
+	pkg      *Package
+	pos      token.Pos
+	via      *FuncNode // first callee on the interprocedural path, nil if direct
+}
+
+// lockSummary is one node's intraprocedural lock behavior.
+type lockSummary struct {
+	direct map[string]token.Pos // class key -> first direct acquisition
+	edges  []lockEdge           // direct held-while-acquiring edges
+	calls  []heldCall           // outgoing calls made while locks are held
+}
+
+type heldCall struct {
+	held []string // sorted class keys held at the call
+	site *CallSite
+}
+
+func runLockOrder(mp *ModulePass) {
+	display := map[string]string{} // class key -> short display name
+	summaries := map[*FuncNode]*lockSummary{}
+	for _, n := range mp.Graph.Nodes {
+		summaries[n] = summarizeLocks(n, display)
+	}
+
+	// Fixpoint: classes each node may acquire, directly or via callees.
+	star := map[*FuncNode]map[string]lockAcq{}
+	for _, n := range mp.Graph.Nodes {
+		m := map[string]lockAcq{}
+		for key, pos := range summaries[n].direct {
+			m[key] = lockAcq{pos: pos}
+		}
+		star[n] = m
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range mp.Graph.Nodes {
+			for _, cs := range n.Calls() {
+				for _, callee := range cs.Callees {
+					for _, key := range sortedKeys(star[callee]) {
+						if _, have := star[n][key]; !have {
+							star[n][key] = lockAcq{via: callee}
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Assemble the class graph: intraprocedural edges plus, for every
+	// call made under a held lock, edges to everything the callee may
+	// acquire. Keep one representative (first-seen in deterministic
+	// node/source order) edge per (from, to).
+	edges := map[[2]string]lockEdge{}
+	addEdge := func(e lockEdge) {
+		if e.from == e.to {
+			return
+		}
+		k := [2]string{e.from, e.to}
+		if _, have := edges[k]; !have {
+			edges[k] = e
+		}
+	}
+	for _, n := range mp.Graph.Nodes {
+		sum := summaries[n]
+		for _, e := range sum.edges {
+			addEdge(e)
+		}
+		for _, hc := range sum.calls {
+			for _, callee := range hc.site.Callees {
+				for _, to := range sortedKeys(star[callee]) {
+					for _, from := range hc.held {
+						addEdge(lockEdge{from: from, to: to, pkg: n.Pkg, pos: hc.site.Call.Pos(), via: callee})
+					}
+				}
+			}
+		}
+	}
+	if len(edges) == 0 {
+		return
+	}
+
+	// Cycle detection: strongly connected components of the class graph;
+	// every edge inside a component of size >= 2 is reported. Edge keys
+	// are sorted up front so everything downstream iterates in one
+	// deterministic order.
+	var keys [][2]string
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	adj := map[string][]string{}
+	var classes []string
+	seenClass := map[string]bool{}
+	note := func(c string) {
+		if !seenClass[c] {
+			seenClass[c] = true
+			classes = append(classes, c)
+		}
+	}
+	for _, k := range keys {
+		note(k[0])
+		note(k[1])
+		adj[k[0]] = append(adj[k[0]], k[1])
+	}
+	sort.Strings(classes)
+	comp := sccOf(classes, adj)
+	for _, k := range keys {
+		if comp[k[0]] != comp[k[1]] {
+			continue // edge between components: no cycle through it
+		}
+		var members []string
+		for _, c := range classes {
+			if comp[c] == comp[k[0]] {
+				members = append(members, display[c])
+			}
+		}
+		if len(members) < 2 {
+			continue // singleton component: self-loops were dropped above
+		}
+		e := edges[k]
+		cycle := strings.Join(members, ", ")
+		if e.via == nil {
+			mp.ReportfAt(e.pkg, e.pos, "acquires %s while holding %s — lock-order cycle among {%s}: another goroutine taking them in the opposite order deadlocks", display[e.to], display[e.from], cycle)
+		} else {
+			mp.ReportfAt(e.pkg, e.pos, "call may acquire %s (via %s) while holding %s — lock-order cycle among {%s}", display[e.to], chainTo(star, e.via, e.to), display[e.from], cycle)
+		}
+	}
+}
+
+// chainTo renders the call chain from node n to the function that
+// directly acquires class key, following the fixpoint witnesses.
+func chainTo(star map[*FuncNode]map[string]lockAcq, n *FuncNode, key string) string {
+	var parts []string
+	for hops := 0; n != nil && hops < 6; hops++ {
+		parts = append(parts, shortNodeName(n.ID))
+		acq := star[n][key]
+		if acq.via == nil {
+			break
+		}
+		n = acq.via
+	}
+	return strings.Join(parts, " -> ")
+}
+
+// summarizeLocks scans one node's body in source order, classifying
+// mutex operations and recording which classes are held at each
+// outgoing call.
+func summarizeLocks(n *FuncNode, display map[string]string) *lockSummary {
+	sum := &lockSummary{direct: map[string]token.Pos{}}
+	if n.Body() == nil {
+		return sum
+	}
+	deferred := map[*ast.CallExpr]bool{}
+	ast.Inspect(n.Body(), func(x ast.Node) bool {
+		if _, isLit := x.(*ast.FuncLit); isLit {
+			return false
+		}
+		if d, ok := x.(*ast.DeferStmt); ok {
+			deferred[d.Call] = true
+		}
+		return true
+	})
+
+	held := map[string]bool{}
+	heldSorted := func() []string {
+		out := make([]string, 0, len(held))
+		for k := range held {
+			out = append(out, k)
+		}
+		sort.Strings(out)
+		return out
+	}
+	for _, cs := range n.Calls() {
+		if key, disp, op, ok := mutexOpClass(n, cs.Call); ok {
+			display[key] = disp
+			switch op {
+			case "Lock", "RLock":
+				if _, first := sum.direct[key]; !first {
+					sum.direct[key] = cs.Call.Pos()
+				}
+				for _, from := range heldSorted() {
+					if from != key {
+						sum.edges = append(sum.edges, lockEdge{from: from, to: key, pkg: n.Pkg, pos: cs.Call.Pos()})
+					}
+				}
+				held[key] = true
+			case "Unlock", "RUnlock":
+				if !deferred[cs.Call] {
+					delete(held, key)
+				}
+			}
+			continue
+		}
+		if len(held) > 0 && len(cs.Callees) > 0 {
+			sum.calls = append(sum.calls, heldCall{held: heldSorted(), site: cs})
+		}
+	}
+	return sum
+}
+
+// mutexOpClass reports whether call is Lock/RLock/Unlock/RUnlock on a
+// sync.Mutex/RWMutex (directly, through a field, or embedded) and
+// resolves the receiver to its lock class.
+func mutexOpClass(n *FuncNode, call *ast.CallExpr) (key, disp, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", "", false
+	}
+	op = sel.Sel.Name
+	switch op {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", "", false
+	}
+	fn, isFunc := n.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !isFunc {
+		return "", "", "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", "", "", false
+	}
+	rt := recv.Type()
+	if p, isPtr := rt.(*types.Pointer); isPtr {
+		rt = p.Elem()
+	}
+	named, isNamed := rt.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return "", "", "", false
+	}
+	if name := named.Obj().Name(); name != "Mutex" && name != "RWMutex" {
+		return "", "", "", false
+	}
+	key, disp = lockClassOf(n, sel.X)
+	return key, disp, op, true
+}
+
+// lockClassOf names the lock: struct fields classify as pkg.Type.field
+// (instance-insensitive), package variables as pkg.var, locals as
+// node-scoped, and a named struct with an embedded mutex as
+// pkg.Type.(embedded).
+func lockClassOf(n *FuncNode, recv ast.Expr) (key, disp string) {
+	info := n.Pkg.Info
+	switch x := ast.Unparen(recv).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			owner := sel.Recv()
+			if p, isPtr := owner.(*types.Pointer); isPtr {
+				owner = p.Elem()
+			}
+			if named, ok := owner.(*types.Named); ok {
+				key = named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + sel.Obj().Name()
+				return key, shortNodeName(key)
+			}
+		}
+		if obj, ok := info.Uses[x.Sel].(*types.Var); ok && obj.Pkg() != nil {
+			// Qualified package-level var: otherpkg.mu.
+			key = obj.Pkg().Path() + "." + obj.Name()
+			return key, shortNodeName(key)
+		}
+	case *ast.Ident:
+		if obj, ok := info.Uses[x].(*types.Var); ok {
+			if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+				key = obj.Pkg().Path() + "." + obj.Name()
+				return key, shortNodeName(key)
+			}
+			// Receiver of an embedded mutex (m.Lock() inside a method where
+			// the ident's type embeds sync.Mutex), or a local mutex.
+			t := obj.Type()
+			if p, isPtr := t.(*types.Pointer); isPtr {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() != "sync" {
+				key = named.Obj().Pkg().Path() + "." + named.Obj().Name() + ".(embedded)"
+				return key, shortNodeName(key)
+			}
+			key = n.ID + "." + obj.Name()
+			return key, shortNodeName(key)
+		}
+	}
+	key = n.Pkg.Path + ":" + types.ExprString(recv)
+	return key, shortNodeName(key)
+}
+
+// sortedKeys returns m's keys sorted — every iteration over a lock-class
+// map goes through here so the analyzer's own output can never leak map
+// order (the maporder analyzer's lesson, applied to ourselves).
+func sortedKeys(m map[string]lockAcq) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sccOf computes strongly connected components (iterative Tarjan) over
+// the class graph, returning a component id per class. Classes and
+// adjacency lists must be pre-sorted for deterministic numbering.
+func sccOf(classes []string, adj map[string][]string) map[string]int {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	comp := map[string]int{}
+	var stack []string
+	next, ncomp := 0, 0
+
+	type frame struct {
+		v  string
+		ei int
+	}
+	for _, root := range classes {
+		if _, seen := index[root]; seen {
+			continue
+		}
+		work := []frame{{v: root}}
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			v := f.v
+			if f.ei == 0 {
+				index[v] = next
+				low[v] = next
+				next++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			for f.ei < len(adj[v]) {
+				w := adj[v][f.ei]
+				f.ei++
+				if _, seen := index[w]; !seen {
+					work = append(work, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = ncomp
+					if w == v {
+						break
+					}
+				}
+				ncomp++
+			}
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				parent := work[len(work)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+		}
+	}
+	return comp
+}

@@ -1,0 +1,155 @@
+package analysis
+
+// Machine-readable output for cmd/spatialvet: a flat JSON array of
+// findings for scripting and diffing (the CI determinism check compares
+// two runs byte for byte), and SARIF 2.1.0 for code-scanning uploads.
+// Only the subset of SARIF the consumers actually read is emitted —
+// driver rules with per-analyzer metadata, and one result per finding
+// with a physical location — but every emitted field follows the 2.1.0
+// schema so the log survives strict ingestion. Both forms are built
+// from the same sorted diagnostics slice, so they are deterministic
+// whenever RunAnalyzers is.
+
+// JSONDiagnostic is one finding in -json output.
+type JSONDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// JSONDiagnostics converts diagnostics for -json output. rel maps an
+// absolute filename to the path to print (pass nil for absolute paths).
+// The result is never nil, so an empty run encodes as [] rather than
+// null.
+func JSONDiagnostics(diags []Diagnostic, rel func(string) string) []JSONDiagnostic {
+	out := make([]JSONDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel != nil {
+			file = rel(file)
+		}
+		out = append(out, JSONDiagnostic{
+			File:     file,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	return out
+}
+
+// SARIF 2.1.0 structures, exported so consumers (and the round-trip
+// tests) can unmarshal a log back into the same types.
+
+type SarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []SarifRun `json:"runs"`
+}
+
+type SarifRun struct {
+	Tool    SarifTool     `json:"tool"`
+	Results []SarifResult `json:"results"`
+}
+
+type SarifTool struct {
+	Driver SarifDriver `json:"driver"`
+}
+
+type SarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []SarifRule `json:"rules"`
+}
+
+type SarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription SarifMessage `json:"shortDescription"`
+}
+
+type SarifMessage struct {
+	Text string `json:"text"`
+}
+
+type SarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   SarifMessage    `json:"message"`
+	Locations []SarifLocation `json:"locations"`
+}
+
+type SarifLocation struct {
+	PhysicalLocation SarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type SarifPhysicalLocation struct {
+	ArtifactLocation SarifArtifactLocation `json:"artifactLocation"`
+	Region           SarifRegion           `json:"region"`
+}
+
+type SarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type SarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+const sarifSchemaURI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+// SARIF builds a SARIF 2.1.0 log: one rule per analyzer (plus the
+// "directive" pseudo-rule that carries suppression misuse and
+// staleness findings) and one warning-level result per diagnostic.
+// rel maps absolute filenames to the URIs to emit — pass a function
+// producing module-root-relative slash paths for code-scanning
+// uploads, or nil for absolute paths.
+func SARIF(diags []Diagnostic, analyzers []*Analyzer, rel func(string) string) *SarifLog {
+	rules := make([]SarifRule, 0, len(analyzers)+1)
+	ruleIndex := map[string]int{}
+	for _, a := range analyzers {
+		ruleIndex[a.Name] = len(rules)
+		rules = append(rules, SarifRule{ID: a.Name, ShortDescription: SarifMessage{Text: a.Doc}})
+	}
+	ruleIndex["directive"] = len(rules)
+	rules = append(rules, SarifRule{
+		ID:               "directive",
+		ShortDescription: SarifMessage{Text: "misused or stale //spatialvet:ignore suppression"},
+	})
+
+	results := make([]SarifResult, 0, len(diags))
+	for _, d := range diags {
+		uri := d.Pos.Filename
+		if rel != nil {
+			uri = rel(uri)
+		}
+		idx, known := ruleIndex[d.Analyzer]
+		if !known {
+			idx = -1 // a rule-less result is still valid SARIF
+		}
+		results = append(results, SarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: idx,
+			Level:     "warning",
+			Message:   SarifMessage{Text: d.Message},
+			Locations: []SarifLocation{{
+				PhysicalLocation: SarifPhysicalLocation{
+					ArtifactLocation: SarifArtifactLocation{URI: uri},
+					Region:           SarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+
+	return &SarifLog{
+		Schema:  sarifSchemaURI,
+		Version: "2.1.0",
+		Runs: []SarifRun{{
+			Tool:    SarifTool{Driver: SarifDriver{Name: "spatialvet", Rules: rules}},
+			Results: results,
+		}},
+	}
+}

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"encoding/json"
+	"go/token"
+	"reflect"
+	"testing"
+)
+
+func sampleDiags() []Diagnostic {
+	return []Diagnostic{
+		{
+			Pos:      token.Position{Filename: "/mod/a/a.go", Line: 10, Column: 3},
+			Analyzer: "maporder",
+			Message:  "map iteration order leaks",
+		},
+		{
+			Pos:      token.Position{Filename: "/mod/b/b.go", Line: 7, Column: 1},
+			Analyzer: "directive",
+			Message:  "stale spatialvet:ignore maporder: it suppresses nothing on this line or the next — remove it",
+		},
+	}
+}
+
+// TestSARIFRoundTrip marshals a log through encoding/json and back and
+// requires the result to be structurally identical — every emitted
+// field survives, including the rule metadata for all analyzers.
+func TestSARIFRoundTrip(t *testing.T) {
+	log := SARIF(sampleDiags(), Analyzers(), func(s string) string { return s })
+	data, err := json.Marshal(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SarifLog
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*log, back) {
+		t.Errorf("SARIF log does not round-trip:\nbefore: %+v\nafter:  %+v", *log, back)
+	}
+}
+
+// TestSARIFRules requires one rule per analyzer plus the directive
+// pseudo-rule, each with a non-empty description, and every result to
+// reference its rule by both id and index.
+func TestSARIFRules(t *testing.T) {
+	analyzers := Analyzers()
+	log := SARIF(sampleDiags(), analyzers, nil)
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	rules := run.Tool.Driver.Rules
+	if want := len(analyzers) + 1; len(rules) != want {
+		t.Fatalf("got %d rules, want %d (all analyzers + directive)", len(rules), want)
+	}
+	byID := map[string]int{}
+	for i, r := range rules {
+		if r.ShortDescription.Text == "" {
+			t.Errorf("rule %s has no description", r.ID)
+		}
+		byID[r.ID] = i
+	}
+	for _, a := range analyzers {
+		if _, ok := byID[a.Name]; !ok {
+			t.Errorf("no rule for analyzer %s", a.Name)
+		}
+	}
+	if _, ok := byID["directive"]; !ok {
+		t.Error("no rule for the directive pseudo-analyzer")
+	}
+	for _, res := range run.Results {
+		if idx, ok := byID[res.RuleID]; !ok || idx != res.RuleIndex {
+			t.Errorf("result %q: ruleIndex %d does not match rule %q at %d", res.Message.Text, res.RuleIndex, res.RuleID, byID[res.RuleID])
+		}
+		if len(res.Locations) != 1 || res.Locations[0].PhysicalLocation.Region.StartLine == 0 {
+			t.Errorf("result %q has no usable location", res.Message.Text)
+		}
+	}
+}
+
+// TestJSONDiagnosticsEmpty pins that a clean run encodes as [], not
+// null — consumers diff the output byte for byte.
+func TestJSONDiagnosticsEmpty(t *testing.T) {
+	data, err := json.Marshal(JSONDiagnostics(nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "[]" {
+		t.Errorf("empty diagnostics encode as %s, want []", data)
+	}
+}

@@ -1,0 +1,52 @@
+// Package atomicmix exercises the half-atomic-variable analyzer: a
+// field or package var touched through sync/atomic at one site races
+// with every plain access elsewhere; typed atomics and consistently
+// plain variables stay silent.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64
+	safe atomic.Int64
+	m    int64
+}
+
+func (c *counter) incr() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) read() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+func (c *counter) mixedWrite() {
+	c.n++ // want "plain access to n"
+}
+
+func (c *counter) mixedRead() int64 {
+	return c.n // want "plain access to n"
+}
+
+func (c *counter) typedOK() int64 {
+	c.safe.Add(1)
+	return c.safe.Load()
+}
+
+func (c *counter) plainOnly() {
+	c.m++
+}
+
+var hits int64
+
+func bump() {
+	atomic.AddInt64(&hits, 1)
+}
+
+func peek() int64 {
+	return hits // want "plain access to hits"
+}
+
+func swap(old, new int64) bool {
+	return atomic.CompareAndSwapInt64(&hits, old, new)
+}

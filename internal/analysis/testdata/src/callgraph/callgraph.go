@@ -1,0 +1,46 @@
+// Package callgraph is the unit fixture for BuildCallGraph: static
+// calls, interface dispatch (fanning out to every implementation),
+// dynamic calls through function values, closures, and an
+// interface-typed call that must NOT resolve to a signature-compatible
+// but non-implementing function.
+package callgraph
+
+type greeter interface {
+	greet() string
+}
+
+type english struct{}
+
+func (english) greet() string { return "hello" }
+
+type french struct{}
+
+func (french) greet() string { return "bonjour" }
+
+// notAGreeter has greet's signature but is a plain function, not a
+// method of an implementing type: interface dispatch must not reach it.
+func notAGreeter() string { return "nope" }
+
+var _ = notAGreeter
+
+func viaInterface(g greeter) string {
+	return g.greet()
+}
+
+func static() string {
+	return helper()
+}
+
+func helper() string { return "x" }
+
+var fn = helper
+
+func dynamic() string {
+	return fn()
+}
+
+func hasClosure() func() string {
+	return func() string {
+		return helper()
+	}
+}

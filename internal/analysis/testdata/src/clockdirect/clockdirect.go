@@ -1,0 +1,40 @@
+// Package clockdirect exercises the injected-clock analyzer: direct
+// reads of the real clock are flagged (calls and bare references
+// alike), duration arithmetic is not, and the sanctioned production
+// default carries its suppression.
+package clockdirect
+
+import "time"
+
+type thing struct {
+	now func() time.Time
+}
+
+func fresh() *thing {
+	return &thing{
+		//spatialvet:ignore clockdirect production default for the injected clock
+		now: time.Now,
+	}
+}
+
+func (t *thing) age(since time.Time) time.Duration {
+	return t.now().Sub(since) // the injected clock: fine
+}
+
+func bad() time.Time {
+	return time.Now() // want "direct time.Now in a clock-injected package"
+}
+
+func badSleep() {
+	time.Sleep(time.Millisecond) // want "direct time.Sleep"
+}
+
+func badTimer() *time.Timer {
+	return time.NewTimer(time.Second) // want "direct time.NewTimer"
+}
+
+var grab = time.Now // want "direct time.Now"
+
+func durationsAreFine() time.Duration {
+	return 3 * time.Second
+}

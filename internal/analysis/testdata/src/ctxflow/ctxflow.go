@@ -1,0 +1,51 @@
+// Package ctxflow exercises the handler-reachability analyzer: a
+// context.Background() is flagged only when the module call graph
+// connects it to an HTTP-handler-shaped root — including through an
+// interface dispatch, which the conservative graph fans out to every
+// module implementation.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+)
+
+type runner interface {
+	run()
+}
+
+type detached struct{}
+
+// Reached from handle via the runner interface: conservative dispatch
+// includes every implementation.
+func (detached) run() {
+	ctx := context.Background() // want "context.Background() in ctxflow.(detached).run, which is reachable from HTTP handlers"
+	_ = ctx
+}
+
+type attached struct{}
+
+func (attached) run() {}
+
+func handle(w http.ResponseWriter, r *http.Request, run runner) {
+	run.run()
+	todoHelper()
+}
+
+// Reached directly from the handler.
+func todoHelper() {
+	_ = context.TODO() // want "context.TODO() in ctxflow.todoHelper"
+}
+
+// Not reachable from any handler-shaped root: minting a root context
+// here is fine.
+func batchJob() {
+	_ = context.Background()
+}
+
+// Reachable, but sanctioned: the suppression (with its reason) silences
+// the finding.
+func graft(w http.ResponseWriter, r *http.Request) {
+	//spatialvet:ignore ctxflow shared work must outlive any single request
+	_ = context.Background()
+}

@@ -1,0 +1,85 @@
+// Package goroleak exercises the goroutine-lifecycle analyzer: a `go`
+// statement whose body has no cancellation edge (channel op, select,
+// ctx.Done, WaitGroup) is flagged; each kind of edge silences it;
+// bodies the analyzer cannot see (function values) are skipped, not
+// guessed at.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+func leaky() {
+	go func() { // want "goroutine func literal has no cancellation edge"
+		for {
+			work()
+		}
+	}()
+}
+
+func leakyNamed() {
+	go spin() // want "goroutine spin has no cancellation edge"
+}
+
+func spin() {
+	for {
+		work()
+	}
+}
+
+func chanBound(ch chan int) {
+	go func() {
+		for range ch {
+			work()
+		}
+	}()
+}
+
+func recvBound(stop chan struct{}) {
+	go func() {
+		<-stop
+	}()
+}
+
+func sendBound(ch chan<- int) {
+	go func() {
+		ch <- 1
+	}()
+}
+
+func selectBound(ctx context.Context, ch chan int) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-ch:
+		}
+	}()
+}
+
+func ctxBound(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func wgBound(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// A function value: the body is unknowable here, so the launch is
+// skipped rather than flagged.
+func unknownBody(f func()) {
+	go f()
+}
+
+// The suppression documents who owns the lifecycle.
+func sanctioned() {
+	//spatialvet:ignore goroleak one-shot side effect; exits on its own
+	go work()
+}

@@ -1,0 +1,87 @@
+// Package lockorder exercises the module-wide lock-order analyzer: the
+// classic AB/BA two-mutex cycle (direct), a cycle closed through a call
+// (interprocedural), and a consistently ordered pair that must stay
+// silent.
+package lockorder
+
+import "sync"
+
+var (
+	a sync.Mutex
+	b sync.Mutex
+	c sync.Mutex
+	d sync.RWMutex
+	e sync.Mutex
+	f sync.Mutex
+	g sync.Mutex
+	h sync.Mutex
+)
+
+// abDirect and baDirect form the textbook AB/BA deadlock: each edge of
+// the two-class cycle is reported at its acquisition site.
+func abDirect() {
+	a.Lock()
+	defer a.Unlock()
+	b.Lock() // want "acquires lockorder.b while holding lockorder.a — lock-order cycle among {lockorder.a, lockorder.b}"
+	b.Unlock()
+}
+
+func baDirect() {
+	b.Lock()
+	defer b.Unlock()
+	a.Lock() // want "acquires lockorder.a while holding lockorder.b"
+	a.Unlock()
+}
+
+// cThenD closes its half of the cycle through a callee: the edge is
+// attributed to the call site, with the witness chain to the acquirer.
+func cThenD() {
+	c.Lock()
+	defer c.Unlock()
+	lockD() // want "call may acquire lockorder.d (via lockorder.lockD) while holding lockorder.c"
+}
+
+func lockD() {
+	d.RLock() // RLock still closes the cycle: RWMutex blocks new readers while a writer waits
+	d.RUnlock()
+}
+
+func dThenC() {
+	d.RLock()
+	defer d.RUnlock()
+	c.Lock() // want "acquires lockorder.c while holding lockorder.d"
+	c.Unlock()
+}
+
+// efOne and efTwo nest e before f everywhere: one edge, no cycle, no
+// findings.
+func efOne() {
+	e.Lock()
+	defer e.Unlock()
+	f.Lock()
+	f.Unlock()
+}
+
+func efTwo() {
+	e.Lock()
+	f.Lock()
+	f.Unlock()
+	e.Unlock()
+}
+
+// plainUnlockReleases: after a non-deferred Unlock the class is no
+// longer held, so the later h.Lock adds no g->h edge — were it held,
+// these two functions would form a (false) g/h cycle.
+func plainUnlockReleases() {
+	g.Lock()
+	g.Unlock()
+	h.Lock()
+	h.Unlock()
+}
+
+func hThenG() {
+	h.Lock()
+	defer h.Unlock()
+	g.Lock()
+	g.Unlock()
+}

@@ -1,0 +1,23 @@
+// Package stale exercises the stale-suppression audit: a directive
+// that suppresses nothing (for an analyzer that ran) is itself a
+// finding; a used directive and a directive for an analyzer not in the
+// run are left alone.
+package stale
+
+// Used: suppresses the panic below, so it is not stale.
+func mayPanic(ok bool) {
+	if !ok {
+		//spatialvet:ignore panicsite input validated by the only caller
+		panic("bad input")
+	}
+}
+
+// Stale: panicsite runs but finds nothing on this line or the next.
+//
+//spatialvet:ignore panicsite nothing here panics
+func calm() {}
+
+// Naming an analyzer outside the run is not stale but misuse: the
+// unknown-analyzer diagnostic covers it (see the suppress fixture), so
+// staleness is only ever judged for analyzers that actually ran.
+func alsoCalm() {}

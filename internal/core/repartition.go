@@ -124,6 +124,9 @@ func canceledErr(ctx context.Context) error {
 // batches) and abandons the run with an error wrapping ErrCanceled within at
 // most one in-flight rung. Everything else — determinism across worker
 // counts included — is identical to Repartition.
+// ctx must be non-nil, as throughout the standard library's context
+// conventions; pass context.Background() explicitly (or use Repartition)
+// when no cancellation is wanted.
 func RepartitionCtx(ctx context.Context, g *grid.Grid, opts Options) (*Repartitioned, error) {
 	opts.Ctx = ctx
 	return repartition(g, opts, nil)
@@ -144,6 +147,9 @@ func RepartitionCtx(ctx context.Context, g *grid.Grid, opts Options) (*Repartiti
 // the evaluations the sequential loop would have performed — is
 // byte-identical to the Workers = 1 path.
 func Repartition(g *grid.Grid, opts Options) (*Repartitioned, error) {
+	if opts.Ctx == nil {
+		opts.Ctx = context.Background()
+	}
 	return repartition(g, opts, nil)
 }
 
@@ -159,10 +165,12 @@ func repartition(g *grid.Grid, opts Options, rec *runRecorder) (*Repartitioned, 
 	if err := grid.ValidateAttrs(g.Attrs); err != nil {
 		return nil, err
 	}
+	// opts.Ctx is non-nil on every path: Repartition and
+	// RepartitionWithReport default it, RepartitionCtx requires it. Keeping
+	// the context.Background() default out of this shared driver keeps the
+	// handler-reachable path (RepartitionCtx) from ever minting a root
+	// context that would detach a request from its deadline and trace.
 	ctx := opts.Ctx
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	if ctx.Err() != nil {
 		return nil, canceledErr(ctx)
 	}

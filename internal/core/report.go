@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"sync"
@@ -186,6 +187,9 @@ func (rec *runRecorder) buildReport(g *grid.Grid, opts Options, rp *Repartitione
 // registry, which may accumulate across runs if it is shared.
 func RepartitionWithReport(g *grid.Grid, opts Options) (*Repartitioned, *RunReport, error) {
 	rec := &runRecorder{}
+	if opts.Ctx == nil {
+		opts.Ctx = context.Background()
+	}
 	rp, err := repartition(g, opts, rec)
 	if err != nil {
 		return nil, nil, err

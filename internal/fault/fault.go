@@ -83,7 +83,7 @@ func (in *Injector) Set(name string, p Plan) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	h := fnv.New64a()
-	h.Write([]byte(name)) //spatialvet:ignore errdrop hash.Hash Write never fails
+	h.Write([]byte(name))
 	in.points[name] = &point{plan: p, rng: splitmix64(in.seed ^ h.Sum64())}
 }
 

@@ -104,6 +104,7 @@ func Serve(addr string, r *Registry) (*http.Server, string, error) {
 	}
 	PublishExpvar("spatialrepart", r)
 	srv := HardenedServer(NewMux(r))
+	//spatialvet:ignore goroleak Serve blocks until the listener closes; the caller shuts the server down
 	go func() { _ = srv.Serve(ln) }() //spatialvet:ignore errdrop Serve returns ErrServerClosed on shutdown; the caller owns the server lifecycle
 	return srv, ln.Addr().String(), nil
 }
@@ -117,6 +118,7 @@ func ServeObserver(addr string, o *Observer) (*http.Server, string, error) {
 	}
 	PublishExpvar("spatialrepart", o.Registry())
 	srv := HardenedServer(ObserverMux(o))
+	//spatialvet:ignore goroleak Serve blocks until the listener closes; the caller shuts the server down
 	go func() { _ = srv.Serve(ln) }() //spatialvet:ignore errdrop Serve returns ErrServerClosed on shutdown; the caller owns the server lifecycle
 	return srv, ln.Addr().String(), nil
 }

@@ -197,6 +197,7 @@ func (s *Server) Serve(addr string) (string, error) {
 	}
 	srv := obs.HardenedServer(s.Handler())
 	s.httpSrv = srv
+	//spatialvet:ignore goroleak Serve blocks until the listener closes; Shutdown stops it and awaits in-flight requests
 	go func() { _ = srv.Serve(ln) }() //spatialvet:ignore errdrop Serve returns ErrServerClosed on shutdown; Shutdown owns the lifecycle
 	return ln.Addr().String(), nil
 }

@@ -219,7 +219,8 @@ func New(bounds grid.Bounds, rows, cols int, attrs []grid.Attribute, opts Option
 		counts:  make([]int, rows*cols),
 		sums:    make([]float64, rows*cols*len(attrs)),
 		breaker: newBreaker(threshold, initial, max, seed),
-		now:     time.Now,
+		//spatialvet:ignore clockdirect the production default for the injectable clock
+		now: time.Now,
 	}
 	for k, at := range a {
 		if at.Categorical {
@@ -445,6 +446,7 @@ func (s *Repartitioner) attempt(ctx context.Context, g *grid.Grid, cur *core.Rep
 	// delay consumes the budget exactly like a slow real recompute would. It
 	// derives from Background, NOT from ctx: the recompute is shared work and
 	// a request deadline must never cancel it.
+	//spatialvet:ignore ctxflow sanctioned detachment: the recompute is shared work and must outlive any single request
 	runCtx := context.Background()
 	cancel := func() {}
 	if s.opts.RecomputeTimeout > 0 {
@@ -461,7 +463,7 @@ func (s *Repartitioner) attempt(ctx context.Context, g *grid.Grid, cur *core.Rep
 	if tc, ok := obs.TraceFromContext(rctx); ok {
 		runCtx = obs.ContextWithTrace(runCtx, tc)
 	}
-	start := time.Now()
+	start := s.now()
 	rp, err = core.RepartitionCtx(runCtx, g, core.Options{
 		Threshold: s.opts.Threshold,
 		Schedule:  s.opts.Schedule,
@@ -469,7 +471,7 @@ func (s *Repartitioner) attempt(ctx context.Context, g *grid.Grid, cur *core.Rep
 		Obs:       s.opts.Obs,
 	})
 	sp.End()
-	s.opts.Obs.SetGauge("stream.last_recompute_ns", float64(time.Since(start).Nanoseconds()))
+	s.opts.Obs.SetGauge("stream.last_recompute_ns", float64(s.now().Sub(start).Nanoseconds()))
 	if err != nil {
 		return nil, false, err
 	}
