@@ -1,0 +1,312 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"spatialrepart/internal/fault"
+)
+
+func TestParseShardSpec(t *testing.T) {
+	if i, n, err := parseShardSpec("1/4"); err != nil || i != 1 || n != 4 {
+		t.Fatalf("parseShardSpec(1/4) = %d,%d,%v", i, n, err)
+	}
+	for _, bad := range []string{"", "2", "a/b", "4/4", "-1/2", "0/0"} {
+		if _, _, err := parseShardSpec(bad); err == nil {
+			t.Errorf("parseShardSpec(%q): want error", bad)
+		}
+	}
+	if s, err := parseShards(" http://a:1 , http://b:2 "); err != nil || len(s) != 2 || s[0] != "http://a:1" {
+		t.Fatalf("parseShards = %v, %v", s, err)
+	}
+	if _, err := parseShards(" , "); err == nil {
+		t.Error("parseShards of empty list: want error")
+	}
+}
+
+// startShardWorker runs one `repart -stream-records ... -shard i/n -serve`
+// worker in-process and returns its bound address, stop channel, and exit
+// channel.
+func startShardWorker(t *testing.T, records, shard string) (addr string, stop chan struct{}, done chan error) {
+	t.Helper()
+	stop = make(chan struct{})
+	done = make(chan error, 1)
+	addrCh := make(chan string, 1)
+	go func() {
+		done <- runStream(streamConfig{
+			records: records, attrsSpec: "count:sum:int,price:avg",
+			rows: 8, cols: 8, bbox: "0,10,0,10",
+			threshold: 0.15, schedule: "geometric",
+			shard:        shard,
+			serveAddr:    "127.0.0.1:0",
+			drainTimeout: 5 * time.Second,
+			logger:       slog.New(slog.NewTextHandler(io.Discard, nil)),
+			serveReady:   func(a string) { addrCh <- a },
+			serveStop:    stop,
+		})
+	}()
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("shard worker %s exited before serving: %v", shard, err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("shard worker never became ready")
+	}
+	return addr, stop, done
+}
+
+// TestRunClusterEndToEnd drives the full flag-level topology in-process: two
+// -shard workers over the same record feed, fronted by a -cluster
+// coordinator. The stitched view must reconcile with the per-shard views,
+// and killing one worker must degrade the cluster to 200 + Warning with the
+// shard reported missing — not take it down.
+func TestRunClusterEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	records := writeTestRecords(t, dir, "points.csv", 400)
+
+	addr0, stop0, done0 := startShardWorker(t, records, "0/2")
+	addr1, stop1, done1 := startShardWorker(t, records, "1/2")
+
+	stopC := make(chan struct{})
+	doneC := make(chan error, 1)
+	addrCh := make(chan string, 1)
+	go func() {
+		doneC <- runCluster(clusterConfig{
+			addr:   "127.0.0.1:0",
+			shards: []string{"http://" + addr0, "http://" + addr1},
+			rows:   8, cols: 8, bbox: "0,10,0,10",
+			drainTimeout: 5 * time.Second,
+			logger:       slog.New(slog.NewTextHandler(io.Discard, nil)),
+			ready:        func(a string) { addrCh <- a },
+			stop:         stopC,
+		})
+	}()
+	var clusterAddr string
+	select {
+	case clusterAddr = <-addrCh:
+	case err := <-doneC:
+		t.Fatalf("runCluster exited before serving: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("coordinator never became ready")
+	}
+	base := "http://" + clusterAddr
+
+	get := func(path string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, body
+	}
+
+	// Healthy: stitched view, and its group count reconciles with the two
+	// shard views (stock shard groups never span the band border).
+	resp, body := get("/view")
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Warning") != "" {
+		t.Fatalf("healthy /view: status %d warning %q: %s", resp.StatusCode, resp.Header.Get("Warning"), body)
+	}
+	var view struct {
+		Degraded      bool  `json:"degraded"`
+		Groups        int   `json:"groups"`
+		MissingShards []int `json:"missing_shards"`
+	}
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Degraded || view.Groups == 0 {
+		t.Fatalf("healthy stitched view: %+v", view)
+	}
+	shardGroups := 0
+	for _, a := range []string{addr0, addr1} {
+		resp, err := http.Get("http://" + a + "/view")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sv struct {
+			Groups int `json:"groups"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&sv); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		shardGroups += sv.Groups
+	}
+	if view.Groups != shardGroups {
+		t.Fatalf("stitched groups %d != sum of shard groups %d", view.Groups, shardGroups)
+	}
+	resp, body = get("/readyz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy /readyz: status %d: %s", resp.StatusCode, body)
+	}
+
+	// Kill worker 1 (graceful here; the chaos suite covers hard kills). The
+	// cluster must keep serving shard 0's band, degraded and explicit.
+	close(stop1)
+	select {
+	case err := <-done1:
+		if err != nil {
+			t.Fatalf("shard worker 1 exited with: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("shard worker 1 never drained")
+	}
+	resp, body = get("/view")
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Warning") == "" {
+		t.Fatalf("degraded /view: status %d warning %q: %s", resp.StatusCode, resp.Header.Get("Warning"), body)
+	}
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatal(err)
+	}
+	if !view.Degraded || len(view.MissingShards) != 1 || view.MissingShards[0] != 1 {
+		t.Fatalf("degraded stitched view: %+v", view)
+	}
+	resp, body = get("/readyz")
+	var rb struct {
+		Ready    bool `json:"ready"`
+		Degraded bool `json:"degraded"`
+	}
+	if err := json.Unmarshal(body, &rb); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !rb.Ready || !rb.Degraded {
+		t.Fatalf("degraded /readyz: status %d body %s", resp.StatusCode, body)
+	}
+
+	// Clean shutdown of the coordinator, then the surviving worker.
+	close(stopC)
+	select {
+	case err := <-doneC:
+		if err != nil {
+			t.Fatalf("runCluster exited with: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("coordinator never drained")
+	}
+	close(stop0)
+	select {
+	case err := <-done0:
+		if err != nil {
+			t.Fatalf("shard worker 0 exited with: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("shard worker 0 never drained")
+	}
+}
+
+// TestShardWorkerIngestFiltersBand: a -shard worker ingests only its own row
+// band; two complementary workers accept every record between them.
+func TestShardWorkerIngestFiltersBand(t *testing.T) {
+	dir := t.TempDir()
+	records := writeTestRecords(t, dir, "points.csv", 200)
+
+	accepted := func(shard string) int {
+		report := filepath.Join(dir, "report-"+strings.ReplaceAll(shard, "/", "-")+".json")
+		if err := runStream(streamConfig{
+			records: records, attrsSpec: "count:sum:int,price:avg",
+			rows: 8, cols: 8, bbox: "0,10,0,10",
+			threshold: 0.15, schedule: "geometric",
+			shard: shard, reportOut: report,
+		}); err != nil {
+			t.Fatalf("shard %s: %v", shard, err)
+		}
+		var rep struct {
+			Accepted int `json:"accepted"`
+		}
+		b, err := os.ReadFile(report)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(b, &rep); err != nil {
+			t.Fatal(err)
+		}
+		return rep.Accepted
+	}
+	a0, a1 := accepted("0/2"), accepted("1/2")
+	if a0 == 0 || a1 == 0 {
+		t.Fatalf("a band saw no records: %d / %d", a0, a1)
+	}
+	if a0+a1 != 200 {
+		t.Fatalf("bands accepted %d+%d records, want all 200", a0, a1)
+	}
+
+	// A bad shard spec fails fast.
+	if err := runStream(streamConfig{
+		records: records, attrsSpec: "count:sum:int,price:avg",
+		rows: 8, cols: 8, bbox: "0,10,0,10",
+		threshold: 0.15, schedule: "geometric", shard: "9/2",
+	}); err == nil {
+		t.Fatal("out-of-range -shard accepted")
+	}
+}
+
+// TestAtomicWriteCrashConsistency drives atomicWrite's failure path with an
+// injected mid-write fault: the previous checkpoint must survive untouched
+// and no temp file may be left behind.
+func TestAtomicWriteCrashConsistency(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.ckpt")
+	const v1 = "good checkpoint v1"
+	if err := atomicWrite(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, v1)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	inj := fault.New(7)
+	inj.Set("checkpoint.write", fault.Plan{Count: 1, Err: errors.New("injected disk failure")})
+	err := atomicWrite(path, func(w io.Writer) error {
+		if _, werr := io.WriteString(w, "torn half-written v2"); werr != nil {
+			return werr
+		}
+		return inj.Hit("checkpoint.write")
+	})
+	if err == nil || !strings.Contains(err.Error(), "injected disk failure") {
+		t.Fatalf("atomicWrite error = %v, want the injected fault", err)
+	}
+	if _, fired := inj.Stats("checkpoint.write"); fired != 1 {
+		t.Fatalf("injector fired %d times, want 1", fired)
+	}
+
+	b, rerr := os.ReadFile(path)
+	if rerr != nil || string(b) != v1 {
+		t.Fatalf("previous checkpoint did not survive: %q, %v", b, rerr)
+	}
+	entries, derr := os.ReadDir(dir)
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	if len(entries) != 1 {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("leftover files after failed write: %v", names)
+	}
+
+	// A successful rewrite replaces the content whole.
+	const v2 = "good checkpoint v2"
+	if err := atomicWrite(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, v2)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != v2 {
+		t.Fatalf("rewrite left %q, want %q", b, v2)
+	}
+}

@@ -30,6 +30,16 @@
 // in-flight requests gracefully within -drain-timeout:
 //
 //	repart -stream-records points.csv ... -serve :8080 [-drain-timeout 10s]
+//
+// Cluster mode shards the grid into horizontal row bands served by
+// independent worker processes and fronts them with a stateless, resilient
+// coordinator (per-shard circuit breakers, retries, optional hedged reads,
+// partial 200+Warning results when shards are down):
+//
+//	repart -stream-records points.csv ... -shard 0/2 -serve :8081 &
+//	repart -stream-records points.csv ... -shard 1/2 -serve :8082 &
+//	repart -cluster :8080 -shards http://localhost:8081,http://localhost:8082 \
+//	       -stream-rows 32 -stream-cols 32 -bounds 40,41,-74,-73 [-hedge]
 package main
 
 import (
@@ -72,6 +82,10 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 0, "streaming mode: additionally checkpoint every n ingested records (0 = final only)")
 	serveAddr := flag.String("serve", "", "streaming mode: after ingest, serve the current view over HTTP on this address until SIGTERM/SIGINT")
 	drainTimeout := flag.Duration("drain-timeout", defaultDrainTimeout, "serve mode: graceful drain deadline on shutdown")
+	shardSpec := flag.String("shard", "", "streaming mode: serve row band i of an n-shard cluster as \"i/n\" (geometry from -stream-rows/-stream-cols/-bounds)")
+	clusterAddr := flag.String("cluster", "", "cluster mode: serve a stateless coordinator on this address over the -shards backends")
+	shardsList := flag.String("shards", "", "cluster mode: comma-separated shard base URLs, one per row band, in band order")
+	hedge := flag.Bool("hedge", false, "cluster mode: hedge slow shard reads after the backend's observed p99 latency")
 	flag.Parse()
 
 	if *version {
@@ -97,17 +111,33 @@ func main() {
 	}
 
 	var err error
-	if *streamRecords != "" {
+	if *clusterAddr != "" {
+		var shards []string
+		if *streamRecords != "" || *in != "" {
+			err = fmt.Errorf("-cluster is a pure coordinator: it takes no -in/-stream-records (start shard workers separately with -shard)")
+		} else if shards, err = parseShards(*shardsList); err == nil {
+			err = runCluster(clusterConfig{
+				addr: *clusterAddr, shards: shards,
+				rows: *streamRows, cols: *streamCols, bbox: *bbox,
+				hedge: *hedge, drainTimeout: *drainTimeout,
+				obsv: obsv, logger: logger,
+			})
+		}
+	} else if *shardsList != "" || *hedge {
+		err = fmt.Errorf("-shards/-hedge require -cluster")
+	} else if *streamRecords != "" {
 		err = runStream(streamConfig{
 			records: *streamRecords, attrsSpec: *streamAttrs,
 			rows: *streamRows, cols: *streamCols, bbox: *bbox,
 			threshold: *threshold, schedule: *schedule, workers: *workers,
-			checkpoint: *checkpoint, checkpointEvery: *checkpointEvery,
+			checkpoint: *checkpoint, checkpointEvery: *checkpointEvery, shard: *shardSpec,
 			out: *out, groupsOut: *groupsOut, adjOut: *adjOut, geoOut: *geoOut,
 			partOut: *partOut, reportOut: *reportOut,
 			stats: *stats, render: *doRender, obsv: obsv,
 			serveAddr: *serveAddr, drainTimeout: *drainTimeout, logger: logger,
 		})
+	} else if *shardSpec != "" {
+		err = fmt.Errorf("-shard requires -stream-records (a shard worker is a streaming ingest over its row band)")
 	} else if *checkpoint != "" || *checkpointEvery != 0 {
 		err = fmt.Errorf("-checkpoint/-checkpoint-every require -stream-records")
 	} else if *serveAddr != "" {

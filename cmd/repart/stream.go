@@ -2,12 +2,15 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log/slog"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"spatialrepart"
+	"spatialrepart/internal/cluster"
 	"spatialrepart/internal/grid"
 	"spatialrepart/internal/render"
 	"spatialrepart/internal/stream"
@@ -26,6 +29,7 @@ type streamConfig struct {
 	workers         int
 	checkpoint      string // checkpoint file: restored at start if present, written at exit
 	checkpointEvery int    // additionally checkpoint every n accepted records (0 = final only)
+	shard           string // "i/n": serve row band i of an n-shard cluster (see -cluster)
 
 	out, groupsOut, adjOut, geoOut, partOut, reportOut string
 	stats, render                                      bool
@@ -103,7 +107,34 @@ func runStream(cfg streamConfig) error {
 	default:
 		return fmt.Errorf("unknown schedule %q", cfg.schedule)
 	}
-	s, err := stream.New(bounds, cfg.rows, cfg.cols, attrs, opts)
+	// In shard-worker mode the stream covers only this worker's row band of
+	// the global grid; records outside the band are dropped at ingest (the
+	// cluster's ingest fan-out sends every worker the full feed, and each
+	// keeps its slice). accept re-positions a record into the band-local
+	// frame via the shared routing plan, so the worker's cells land on
+	// exactly the global cell centers the coordinator stitches by.
+	var s *stream.Repartitioner
+	accept := func(rec grid.Record) (grid.Record, bool) { return rec, true }
+	if cfg.shard != "" {
+		index, count, serr := parseShardSpec(cfg.shard)
+		if serr != nil {
+			return serr
+		}
+		plan, perr := cluster.NewPlan(cfg.rows, cfg.cols, bounds, count)
+		if perr != nil {
+			return perr
+		}
+		s, err = cluster.NewShard(plan, index, attrs, opts)
+		accept = func(rec grid.Record) (grid.Record, bool) {
+			shard, local, ok := plan.Route(rec)
+			if !ok || shard != index {
+				return grid.Record{}, false
+			}
+			return local, true
+		}
+	} else {
+		s, err = stream.New(bounds, cfg.rows, cfg.cols, attrs, opts)
+	}
 	if err != nil {
 		return err
 	}
@@ -135,6 +166,10 @@ func runStream(cfg streamConfig) error {
 	defer f.Close()
 	sinceCheckpoint := 0
 	if err := grid.ScanRecordsCSV(f, len(attrs), func(rec grid.Record) error {
+		rec, ok := accept(rec)
+		if !ok {
+			return nil
+		}
 		if err := s.Add(rec); err != nil {
 			return err
 		}
@@ -240,22 +275,61 @@ func writeStreamOutputs(cfg streamConfig, rp *spatialrepart.Repartitioned, bound
 	return nil
 }
 
-// writeCheckpoint writes the stream state to path atomically (temp file +
-// rename), so a crash mid-write never corrupts the previous checkpoint.
+// writeCheckpoint writes the stream state to path crash-consistently via
+// atomicWrite: after a crash at ANY instant the file holds either the
+// previous checkpoint or the new one, never a torn mix.
 func writeCheckpoint(s *stream.Repartitioner, path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	if err := atomicWrite(path, s.Checkpoint); err != nil {
+		return fmt.Errorf("writing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// atomicWrite replaces path with the bytes produced by write, surviving a
+// crash at any point: the content goes to an O_EXCL temp file in the same
+// directory, is fsynced to make the BYTES durable, renamed over path to make
+// the SWITCH atomic, and the parent directory is fsynced to make the rename
+// itself durable. Skipping the first fsync would let the rename land before
+// the data (a zero-length or torn file after power loss); skipping the last
+// would let a crash forget the rename ever happened.
+func atomicWrite(path string, write func(w io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	if err := s.Checkpoint(f); err != nil {
-		f.Close()      //spatialvet:ignore errdrop best-effort cleanup of a failed write; the Checkpoint error is the one reported
-		os.Remove(tmp) //spatialvet:ignore errdrop best-effort cleanup of a failed write; the Checkpoint error is the one reported
-		return fmt.Errorf("writing checkpoint: %w", err)
+	tmpName := tmp.Name()
+	fail := func(werr error) error {
+		tmp.Close()        //spatialvet:ignore errdrop best-effort cleanup of a failed write; the original error is the one reported
+		os.Remove(tmpName) //spatialvet:ignore errdrop best-effort cleanup of a failed write; the original error is the one reported
+		return werr
 	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp) //spatialvet:ignore errdrop best-effort cleanup of a failed write; the Close error is the one reported
+	if err := write(tmp); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName) //spatialvet:ignore errdrop best-effort cleanup of a failed write; the Close error is the one reported
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName) //spatialvet:ignore errdrop best-effort cleanup of a failed rename; the Rename error is the one reported
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory, making a just-performed rename durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	return serr
 }

@@ -88,12 +88,14 @@ func DefaultConfig() Config {
 			"internal/regress",
 		},
 		HandlerPkgs: []string{
+			"internal/cluster",
 			"internal/server",
 		},
 		ClockPkgs: []string{
-			// server injects Clock; stream injects its now func. internal/obs
-			// is deliberately absent: its fake-clock hook is the ticks
-			// channel, and span timestamps are wall-clock by design.
+			// server and cluster inject Clock; stream injects its now func.
+			// internal/obs is deliberately absent: its fake-clock hook is the
+			// ticks channel, and span timestamps are wall-clock by design.
+			"internal/cluster",
 			"internal/server",
 			"internal/stream",
 		},

@@ -1,0 +1,119 @@
+package breaker
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerLifecycle(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := New(3, 100*time.Millisecond, time.Second, 42)
+
+	if b.State() != Closed {
+		t.Fatalf("initial state %v, want closed", b.State())
+	}
+	if !b.Allow(now) {
+		t.Fatal("closed breaker refused an attempt")
+	}
+
+	// Two failures stay closed; the third opens.
+	b.Failure(now)
+	b.Failure(now)
+	if b.State() != Closed {
+		t.Fatalf("state after 2 failures %v, want closed", b.State())
+	}
+	b.Failure(now)
+	if b.State() != Open || b.Opens() != 1 || b.Consecutive() != 3 {
+		t.Fatalf("state after 3 failures %v opens=%d consecutive=%d, want open/1/3",
+			b.State(), b.Opens(), b.Consecutive())
+	}
+
+	// While open and before the deadline, attempts are refused.
+	if b.Allow(now) {
+		t.Fatal("open breaker allowed an attempt before the deadline")
+	}
+
+	// Past the deadline exactly one half-open probe is admitted.
+	later := b.RetryAt().Add(time.Nanosecond)
+	if !b.Allow(later) {
+		t.Fatal("open breaker refused the probe after the deadline")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state after probe admission %v, want half-open", b.State())
+	}
+	if b.Allow(later) {
+		t.Fatal("half-open breaker admitted a second probe")
+	}
+
+	// A failed probe re-opens without a second open transition count bump…
+	b.Failure(later)
+	if b.State() != Open || b.Opens() != 2 {
+		t.Fatalf("state after failed probe %v opens=%d, want open/2", b.State(), b.Opens())
+	}
+	// …and a successful probe closes and resets.
+	later2 := b.RetryAt().Add(time.Nanosecond)
+	if !b.Allow(later2) {
+		t.Fatal("re-opened breaker refused the second probe")
+	}
+	b.Success()
+	if b.State() != Closed || b.Consecutive() != 0 || b.Backoff() != 100*time.Millisecond {
+		t.Fatalf("after success: state %v consecutive %d backoff %v", b.State(), b.Consecutive(), b.Backoff())
+	}
+	if !b.Allow(later2) {
+		t.Fatal("closed breaker refused an attempt after reset")
+	}
+}
+
+func TestBreakerBackoffDoublesAndCaps(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := New(100, 100*time.Millisecond, 400*time.Millisecond, 1)
+	want := []time.Duration{200 * time.Millisecond, 400 * time.Millisecond, 400 * time.Millisecond}
+	for i, w := range want {
+		b.Failure(now)
+		if b.Backoff() != w {
+			t.Fatalf("backoff after failure %d = %v, want %v", i+1, b.Backoff(), w)
+		}
+	}
+}
+
+func TestBreakerJitterDeterministicAndBounded(t *testing.T) {
+	now := time.Unix(0, 0)
+	mk := func(seed int64) []time.Duration {
+		b := New(100, time.Second, time.Hour, seed)
+		var out []time.Duration
+		for i := 0; i < 16; i++ {
+			before := b.Backoff()
+			b.Failure(now)
+			d := b.RetryAt().Sub(now)
+			if d < before/2 || d >= before {
+				t.Fatalf("jittered delay %v outside [%v, %v)", d, before/2, before)
+			}
+			out = append(out, d)
+		}
+		return out
+	}
+	a, bseq := mk(7), mk(7)
+	for i := range a {
+		if a[i] != bseq[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], bseq[i])
+		}
+	}
+	c := mk(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter schedules")
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for s, want := range map[State]string{Closed: "closed", Open: "open", HalfOpen: "half-open", State(99): "unknown"} {
+		if got := s.String(); got != want {
+			t.Fatalf("State(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}

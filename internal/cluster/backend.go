@@ -1,0 +1,253 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"spatialrepart/internal/breaker"
+	"spatialrepart/internal/obs"
+)
+
+// errShardRefused marks a fetch refused locally by the backend's open
+// breaker — the shard was never contacted.
+var errShardRefused = errors.New("cluster: backend circuit breaker open")
+
+// maxShardBody caps how much of a shard response the coordinator will buffer
+// (16 MiB — far above any real /view, pure defense against a confused or
+// hostile backend).
+const maxShardBody = 16 << 20
+
+// latRingSize is the per-backend latency reservoir size. 128 successful
+// samples are plenty for a p99 hedge threshold while keeping the sort cheap.
+const latRingSize = 128
+
+// backend is the coordinator's per-shard client state: the base URL, the
+// circuit breaker, and the success-latency ring behind the hedge delay. All
+// mutable state is guarded by mu — the breaker itself is not self-locking.
+type backend struct {
+	index int
+	base  string
+
+	mu      sync.Mutex
+	brk     *breaker.Breaker
+	lat     [latRingSize]time.Duration
+	latN    int // total samples ever recorded
+	latPos  int
+	fails   int // attempts recorded as breaker failures (chaos reconciliation)
+	refused int // fetches refused by the open breaker
+}
+
+// recordLatency folds one successful round-trip duration into the ring.
+func (b *backend) recordLatency(d time.Duration) {
+	b.mu.Lock()
+	b.lat[b.latPos] = d
+	b.latPos = (b.latPos + 1) % latRingSize
+	b.latN++
+	b.mu.Unlock()
+}
+
+// hedgeDelay returns the p99 of the recorded success latencies, and whether
+// enough samples exist (min) to hedge at all. Hedging off a handful of
+// samples would fire spurious duplicate reads on a cold cluster.
+func (b *backend) hedgeDelay(min int) (time.Duration, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := b.latN
+	if n > latRingSize {
+		n = latRingSize
+	}
+	if n < min || n == 0 {
+		return 0, false
+	}
+	samples := make([]time.Duration, n)
+	copy(samples, b.lat[:n])
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	idx := (n*99 + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return samples[idx], true
+}
+
+// fetchResult is one shard response: status and body, verbatim.
+type fetchResult struct {
+	Status int
+	Body   []byte
+}
+
+// outcome is one round-trip's result on the hedge channel.
+type outcome struct {
+	res     fetchResult
+	err     error
+	hedged  bool
+	elapsed time.Duration
+}
+
+// fetch performs one defended idempotent read against a backend: breaker
+// admission, up to 1+RetryMax attempts with the breaker's capped jittered
+// backoff between them, per-attempt shard deadline, and optional hedging
+// (attempt launches a duplicate request after the backend's p99 delay and
+// takes whichever answers first). 4xx statuses are successes to the breaker
+// — the shard answered; only transport errors and 5xx count as failures.
+func (c *Coordinator) fetch(ctx context.Context, b *backend, pq string) (fetchResult, error) {
+	ctx, sp := c.obs.StartSpanCtx(ctx, "cluster.fetch", "backend", strconv.Itoa(b.index), "path", pq)
+	defer sp.End()
+	label := strconv.Itoa(b.index)
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.RetryMax; attempt++ {
+		now := c.clock.Now()
+		b.mu.Lock()
+		allowed := b.brk.Allow(now)
+		if !allowed {
+			b.refused++
+		}
+		state := b.brk.State()
+		b.mu.Unlock()
+		c.gaugeBreaker(b, state)
+		if !allowed {
+			c.count("cluster.backend.refused", label)
+			if lastErr != nil {
+				return fetchResult{}, lastErr
+			}
+			return fetchResult{}, fmt.Errorf("%w (shard %d)", errShardRefused, b.index)
+		}
+		if attempt > 0 {
+			c.count("cluster.backend.retries", label)
+		}
+
+		res, elapsed, err := c.attempt(ctx, b, pq)
+		if err == nil && res.Status < 500 {
+			b.mu.Lock()
+			b.brk.Success()
+			b.mu.Unlock()
+			b.recordLatency(elapsed)
+			c.gaugeBreaker(b, breaker.Closed)
+			c.count("cluster.backend.success", label)
+			return res, nil
+		}
+		if err == nil {
+			err = fmt.Errorf("cluster: shard %d returned status %d", b.index, res.Status)
+		}
+		lastErr = err
+		failedAt := c.clock.Now()
+		b.mu.Lock()
+		b.brk.Failure(failedAt)
+		b.fails++
+		state = b.brk.State()
+		retryAt := b.brk.RetryAt()
+		b.mu.Unlock()
+		c.count("cluster.backend.failures", label)
+		c.gaugeBreaker(b, state)
+		if state == breaker.Open || attempt == c.cfg.RetryMax || ctx.Err() != nil {
+			break
+		}
+		// Honor the breaker's jittered backoff window before the next
+		// attempt — Allow would refuse an immediate retry anyway, and the
+		// shared jitter stream is what de-synchronizes a fleet of
+		// coordinators hammering the same recovering shard.
+		if wait := retryAt.Sub(failedAt); wait > 0 {
+			select {
+			case <-c.clock.After(wait):
+			case <-ctx.Done():
+				return fetchResult{}, fmt.Errorf("cluster: shard %d: %w (last error: %v)", b.index, ctx.Err(), lastErr)
+			}
+		}
+	}
+	return fetchResult{}, lastErr
+}
+
+// attempt performs one (possibly hedged) round trip within the shard
+// deadline. The result channel is buffered for both racers, so the losing
+// goroutine always completes its send and exits — nothing leaks even when
+// the caller has long moved on.
+func (c *Coordinator) attempt(ctx context.Context, b *backend, pq string) (fetchResult, time.Duration, error) {
+	if ferr := c.flt.Hit("cluster.fetch"); ferr != nil {
+		return fetchResult{}, 0, fmt.Errorf("cluster: shard %d: %w", b.index, ferr)
+	}
+	actx, cancel := context.WithTimeout(ctx, c.cfg.ShardTimeout)
+	defer cancel()
+
+	ch := make(chan outcome, 2)
+	do := func(hedged bool) {
+		start := c.clock.Now()
+		res, err := c.roundTrip(actx, b, pq)
+		ch <- outcome{res: res, err: err, hedged: hedged, elapsed: c.clock.Now().Sub(start)}
+	}
+	go do(false)
+
+	var hedgeTimer <-chan time.Time
+	if c.cfg.Hedge {
+		if d, ok := b.hedgeDelay(c.cfg.HedgeMinSamples); ok {
+			hedgeTimer = c.clock.After(d)
+		}
+	}
+
+	pending := 1
+	for {
+		select {
+		case out := <-ch:
+			pending--
+			if out.err == nil {
+				if out.hedged {
+					c.count("cluster.backend.hedge_wins", strconv.Itoa(b.index))
+				}
+				return out.res, out.elapsed, nil
+			}
+			if pending == 0 {
+				return fetchResult{}, 0, out.err
+			}
+			// The other racer is still in flight; its answer may yet save
+			// the attempt.
+		case <-hedgeTimer:
+			hedgeTimer = nil
+			c.count("cluster.backend.hedges", strconv.Itoa(b.index))
+			pending++
+			go do(true)
+		}
+	}
+}
+
+// roundTrip is one plain HTTP GET against the backend, with the inbound
+// trace context forwarded as a traceparent header so shard spans link into
+// the coordinator's request trace.
+func (c *Coordinator) roundTrip(ctx context.Context, b *backend, pq string) (fetchResult, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+pq, nil)
+	if err != nil {
+		return fetchResult{}, fmt.Errorf("cluster: building request for shard %d: %w", b.index, err)
+	}
+	if tc, ok := obs.TraceFromContext(ctx); ok {
+		req.Header.Set("traceparent", tc.Traceparent())
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return fetchResult{}, fmt.Errorf("cluster: shard %d: %w", b.index, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxShardBody))
+	if err != nil {
+		return fetchResult{}, fmt.Errorf("cluster: reading shard %d response: %w", b.index, err)
+	}
+	return fetchResult{Status: resp.StatusCode, Body: body}, nil
+}
+
+// count bumps a per-backend counter (cluster.<name>|<backend>).
+func (c *Coordinator) count(name, backendLabel string) {
+	if c.obs.Enabled() {
+		c.obs.Count(obs.FoldLabels(name, []string{backendLabel}), 1)
+	}
+}
+
+// gaugeBreaker exports a backend's breaker state as a numeric gauge
+// (0 closed, 1 open, 2 half-open — matching breaker.State).
+func (c *Coordinator) gaugeBreaker(b *backend, s breaker.State) {
+	if c.obs.Enabled() {
+		c.obs.SetGauge(obs.FoldLabels("cluster.backend.breaker", []string{strconv.Itoa(b.index)}), float64(s))
+	}
+}

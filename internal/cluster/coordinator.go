@@ -1,0 +1,794 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"spatialrepart/internal/breaker"
+	"spatialrepart/internal/fault"
+	"spatialrepart/internal/obs"
+	"spatialrepart/internal/server"
+)
+
+// Defaults for the zero Config fields.
+const (
+	DefaultShardTimeout     = 2 * time.Second
+	DefaultRetryMax         = 2
+	DefaultFailureThreshold = 3
+	DefaultInitialBackoff   = 50 * time.Millisecond
+	DefaultMaxBackoff       = 5 * time.Second
+	DefaultHedgeMinSamples  = 8
+)
+
+// Config parameterizes a Coordinator. Plan and Backends are required and
+// must agree: Backends[i] is the base URL of the shard serving band i.
+type Config struct {
+	// Plan is the cluster's sharding geometry.
+	Plan Plan
+	// Backends are the shard base URLs ("http://host:port"), one per band.
+	Backends []string
+
+	// Client performs the shard requests (default: a dedicated client on a
+	// cloned default transport, so Shutdown's CloseIdleConnections never
+	// touches unrelated traffic).
+	Client *http.Client
+	// ShardTimeout bounds one shard attempt (default 2s).
+	ShardTimeout time.Duration
+	// RetryMax is the number of ADDITIONAL attempts per shard fetch after
+	// the first fails retryably (default 2; reads are idempotent GETs).
+	RetryMax int
+	// FailureThreshold consecutive failures open a backend's breaker
+	// (default 3).
+	FailureThreshold int
+	// InitialBackoff/MaxBackoff bound the per-backend retry backoff
+	// (defaults 50ms / 5s).
+	InitialBackoff time.Duration
+	MaxBackoff     time.Duration
+	// JitterSeed seeds the deterministic backoff jitter; backend i draws
+	// from stream seed+i (0 = a fixed default).
+	JitterSeed int64
+	// Hedge enables hedged reads: once a backend has HedgeMinSamples
+	// recorded successes, a duplicate request launches after its observed
+	// p99 latency and the first answer wins.
+	Hedge bool
+	// HedgeMinSamples gates hedging until the latency estimate is real
+	// (default 8).
+	HedgeMinSamples int
+
+	// MaxInFlight/MaxQueue/QueueWait/RequestTimeout mirror the shard
+	// server's admission envelope (defaults 64/16/100ms/5s).
+	MaxInFlight    int
+	MaxQueue       int
+	QueueWait      time.Duration
+	RequestTimeout time.Duration
+	// RetryAfter is the Retry-After hint attached to shed responses,
+	// jittered per response into [RetryAfter/2, RetryAfter) (default 1s).
+	RetryAfter time.Duration
+
+	// Obs, when non-nil, receives the coordinator metrics (per-backend
+	// breaker gauges, retry/hedge counters, RED series) and spans.
+	Obs *obs.Observer
+	// Fault, when non-nil, is consulted at "cluster.request" (after
+	// admission) and "cluster.fetch" (before every shard attempt).
+	Fault *fault.Injector
+	// Clock substitutes the time source for deterministic chaos tests
+	// (nil = real clock).
+	Clock server.Clock
+}
+
+// Coordinator is the cluster's stateless front door. Create with New, mount
+// via Handler or run with Serve, stop with Shutdown. It holds no view state
+// of its own — every response is assembled from live shard responses, so
+// coordinators can be replicated freely.
+type Coordinator struct {
+	cfg      Config
+	plan     Plan
+	backends []*backend
+	client   *http.Client
+	ownsClnt bool
+	adm      *server.Admission
+	clock    server.Clock
+	obs      *obs.Observer
+	flt      *fault.Injector
+
+	draining atomic.Bool
+	httpSrv  *http.Server
+	mux      *http.ServeMux
+	retryRng atomic.Uint64
+}
+
+// realClock is the production clock (the cluster package injects its time
+// source for the fake-clock chaos suite, same contract as internal/server).
+type realClock struct{}
+
+//spatialvet:ignore clockdirect realClock is the sanctioned bridge to package time
+func (realClock) Now() time.Time { return time.Now() }
+
+//spatialvet:ignore clockdirect realClock is the sanctioned bridge to package time
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// New validates cfg, applies defaults, and returns a ready-to-mount
+// Coordinator.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Plan.Bands) == 0 {
+		return nil, fmt.Errorf("cluster: Config.Plan is required (see NewPlan)")
+	}
+	if len(cfg.Backends) != len(cfg.Plan.Bands) {
+		return nil, fmt.Errorf("cluster: %d backends for %d bands", len(cfg.Backends), len(cfg.Plan.Bands))
+	}
+	for i, b := range cfg.Backends {
+		u, err := url.Parse(b)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("cluster: backend %d: invalid base URL %q", i, b)
+		}
+	}
+	if cfg.ShardTimeout <= 0 {
+		cfg.ShardTimeout = DefaultShardTimeout
+	}
+	if cfg.RetryMax < 0 {
+		return nil, fmt.Errorf("cluster: negative RetryMax %d", cfg.RetryMax)
+	}
+	if cfg.RetryMax == 0 {
+		cfg.RetryMax = DefaultRetryMax
+	}
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = DefaultFailureThreshold
+	}
+	if cfg.InitialBackoff <= 0 {
+		cfg.InitialBackoff = DefaultInitialBackoff
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = DefaultMaxBackoff
+	}
+	if cfg.HedgeMinSamples <= 0 {
+		cfg.HedgeMinSamples = DefaultHedgeMinSamples
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 64
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 16
+	}
+	if cfg.QueueWait <= 0 {
+		cfg.QueueWait = 100 * time.Millisecond
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 5 * time.Second
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = realClock{}
+	}
+	c := &Coordinator{
+		cfg:   cfg,
+		plan:  cfg.Plan,
+		adm:   server.NewAdmission(cfg.MaxInFlight, cfg.MaxQueue),
+		clock: clock,
+		obs:   cfg.Obs,
+		flt:   cfg.Fault,
+	}
+	c.client = cfg.Client
+	if c.client == nil {
+		c.client = &http.Client{Transport: http.DefaultTransport.(*http.Transport).Clone()}
+		c.ownsClnt = true
+	}
+	seed := cfg.JitterSeed
+	if seed == 0 {
+		seed = 1
+	}
+	c.retryRng.Store(uint64(seed))
+	for i, base := range cfg.Backends {
+		c.backends = append(c.backends, &backend{
+			index: i,
+			base:  base,
+			brk:   breaker.New(cfg.FailureThreshold, cfg.InitialBackoff, cfg.MaxBackoff, seed+int64(i)+1),
+		})
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", c.probe(c.handleHealthz))
+	mux.HandleFunc("/readyz", c.probe(c.handleReadyz))
+	mux.HandleFunc("/view", c.query("/view", c.handleView))
+	mux.HandleFunc("/stats", c.query("/stats", c.handleStats))
+	mux.HandleFunc("/cell", c.query("/cell", c.handleCell))
+	mux.HandleFunc("/group", c.query("/group", c.handleGroup))
+	c.mux = mux
+	return c, nil
+}
+
+// Handler returns the coordinator's HTTP handler.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Serve binds addr, starts the hardened HTTP server in the background, and
+// returns the bound address. Stop with Shutdown.
+func (c *Coordinator) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("cluster: listen %s: %w", addr, err)
+	}
+	srv := obs.HardenedServer(c.Handler())
+	c.httpSrv = srv
+	//spatialvet:ignore goroleak Serve blocks until the listener closes; Shutdown stops it and awaits in-flight requests
+	go func() { _ = srv.Serve(ln) }() //spatialvet:ignore errdrop Serve returns ErrServerClosed on shutdown; Shutdown owns the lifecycle
+	return ln.Addr().String(), nil
+}
+
+// Shutdown drains the coordinator gracefully within ctx's deadline: new
+// requests shed 503 draining, in-flight requests finish, the listener
+// closes, and the owned client's idle backend connections are released.
+func (c *Coordinator) Shutdown(ctx context.Context) error {
+	start := c.clock.Now()
+	c.draining.Store(true)
+	c.obs.SetGauge("cluster.draining", 1)
+	c.adm.BeginDrain()
+	drainErr := c.adm.AwaitDrained(ctx)
+	c.obs.SetGauge("cluster.drain_ns", float64(c.clock.Now().Sub(start).Nanoseconds()))
+	if c.httpSrv != nil {
+		if drainErr != nil {
+			c.httpSrv.Close() //spatialvet:ignore errdrop forced close after a blown drain deadline; the deadline error is the one reported
+		} else if err := c.httpSrv.Shutdown(ctx); err != nil {
+			c.httpSrv.Close() //spatialvet:ignore errdrop forced close fallback; the Shutdown error is the one reported
+			drainErr = err
+		}
+	}
+	if c.ownsClnt {
+		c.client.CloseIdleConnections()
+	}
+	return drainErr
+}
+
+// handlerFunc is a coordinator handler: it returns taxonomy errors instead
+// of writing statuses itself, mirroring internal/server.
+type handlerFunc func(w http.ResponseWriter, r *http.Request) error
+
+// statusWriter captures the written status for the RED metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// probe wraps /healthz and /readyz: panic isolation and a method check only
+// — probes bypass admission so they keep answering under overload.
+func (c *Coordinator) probe(h handlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		defer c.recoverRequest(sw)
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			server.WriteError(sw, server.ErrMethodNotAllowed.WithDetail("%s not allowed", r.Method))
+			return
+		}
+		if err := h(sw, r); err != nil {
+			server.WriteError(sw, err)
+		}
+	}
+}
+
+// query wraps a handler in the coordinator's robustness envelope: trace
+// adoption + cluster.request span, panic isolation, method check, admission
+// control with graceful-drain semantics, per-request deadline, and the
+// cluster.request fault point.
+func (c *Coordinator) query(route string, h handlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		c.obs.Count("cluster.requests", 1)
+
+		ctx := r.Context()
+		if tc, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
+			ctx = obs.ContextWithTrace(ctx, tc)
+		}
+		ctx, sp := c.obs.StartSpanCtx(ctx, "cluster.request", "route", route) //spatialvet:ignore spanend ended by the deferred finish below, which needs the final status first
+		if tc, ok := obs.TraceFromContext(ctx); ok {
+			sw.Header().Set("traceparent", tc.Traceparent())
+		}
+		start := c.clock.Now()
+		defer func() { c.finishRequest(sw, route, sp, start) }()
+		defer c.recoverRequest(sw)
+
+		if r.Method != http.MethodGet {
+			server.WriteError(sw, server.ErrMethodNotAllowed.WithDetail("%s not allowed; query endpoints are GET-only", r.Method))
+			return
+		}
+
+		ctx, cancel := context.WithTimeout(ctx, c.cfg.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+
+		if _, err := c.adm.Admit(ctx, c.clock, c.cfg.QueueWait); err != nil {
+			c.obs.Count("cluster.shed", 1)
+			server.WriteError(sw, c.attachRetryAfter(err))
+			return
+		}
+		defer c.adm.Release()
+
+		if ferr := c.flt.Hit("cluster.request"); ferr != nil {
+			server.WriteError(sw, ferr)
+			return
+		}
+		if err := h(sw, r); err != nil {
+			if ctx.Err() != nil {
+				err = server.ErrTimeout.WithDetail("request deadline (%v) expired: %v", c.cfg.RequestTimeout, err)
+			}
+			server.WriteError(sw, err)
+		}
+	}
+}
+
+// finishRequest ends the request span and records the RED route×status
+// series.
+func (c *Coordinator) finishRequest(sw *statusWriter, route string, sp obs.Span, start time.Time) {
+	status := sw.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	code := strconv.Itoa(status)
+	if c.obs.Enabled() {
+		c.obs.Count(obs.FoldLabels("cluster.http.requests", []string{route, code}), 1)
+		if status >= 500 {
+			c.obs.Count(obs.FoldLabels("cluster.http.errors", []string{route, code}), 1)
+		}
+		c.obs.Observe(obs.FoldLabels("cluster.http.latency_ns", []string{route, code}), float64(c.clock.Now().Sub(start).Nanoseconds()))
+	}
+	if sp.Traced() {
+		sp.End("status", code)
+	} else {
+		sp.End()
+	}
+}
+
+// recoverRequest converts a handler panic into a 500 on this one request.
+func (c *Coordinator) recoverRequest(sw *statusWriter) {
+	if rec := recover(); rec != nil {
+		c.obs.Count("cluster.panics", 1)
+		server.WriteError(sw, server.ErrInternal.WithDetail("handler panicked: %v", rec))
+	}
+}
+
+// attachRetryAfter decorates shed errors with a jittered Retry-After hint in
+// [RetryAfter/2, RetryAfter), drawn from the coordinator's seeded SplitMix64
+// stream — the same de-synchronization the shards apply to their own sheds.
+func (c *Coordinator) attachRetryAfter(err error) error {
+	var se *server.Error
+	if !errors.As(err, &se) || se.RetryAfter != 0 {
+		return err
+	}
+	if se.Status != http.StatusServiceUnavailable {
+		return err
+	}
+	x := c.retryRng.Add(0x9e3779b97f4a7c15)
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	f := 0.5 + 0.5*float64(z>>11)/float64(1<<53)
+	cp := *se
+	cp.RetryAfter = time.Duration(float64(c.cfg.RetryAfter) * f)
+	return &cp
+}
+
+// writeJSON writes v as the 200 response body.
+func writeJSON(w http.ResponseWriter, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		return fmt.Errorf("cluster: encoding response: %w", err)
+	}
+	return nil
+}
+
+// ---- probe endpoints -------------------------------------------------------
+
+// HealthBody is the coordinator /healthz response.
+type HealthBody struct {
+	Status   string `json:"status"`
+	Shards   int    `json:"shards"`
+	Draining bool   `json:"draining,omitempty"`
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, _ *http.Request) error {
+	return writeJSON(w, HealthBody{Status: "ok", Shards: len(c.backends), Draining: c.draining.Load()})
+}
+
+// ShardReady is one shard's entry in the cluster readiness body.
+type ShardReady struct {
+	Shard      int    `json:"shard"`
+	Ready      bool   `json:"ready"`
+	Reason     string `json:"reason,omitempty"`
+	Breaker    string `json:"breaker"` // the COORDINATOR's breaker for this backend
+	Generation int    `json:"generation"`
+}
+
+// ReadyBody is the coordinator /readyz response. The cluster is ready while
+// at least one shard is — partial serving is the contract, so a single dead
+// shard degrades readiness rather than revoking it; only a fully dark
+// cluster turns the load balancer away.
+type ReadyBody struct {
+	Ready    bool         `json:"ready"`
+	Reason   string       `json:"reason,omitempty"`
+	Degraded bool         `json:"degraded"`
+	Shards   []ShardReady `json:"shards"`
+}
+
+func (c *Coordinator) handleReadyz(w http.ResponseWriter, r *http.Request) error {
+	type probeRes struct {
+		idx  int
+		sr   ShardReady
+		okay bool
+	}
+	ch := make(chan probeRes, len(c.backends))
+	for _, b := range c.backends {
+		go func(b *backend) {
+			sr := ShardReady{Shard: b.index}
+			b.mu.Lock()
+			sr.Breaker = b.brk.State().String()
+			b.mu.Unlock()
+			// Probes bypass the breaker and retry loop on purpose: they are
+			// how the coordinator notices a shard came BACK, and they must
+			// stay cheap and honest while the fetch path is refusing.
+			res, err := c.roundTrip(r.Context(), b, "/readyz")
+			if err != nil {
+				sr.Reason = "unreachable: " + err.Error()
+				ch <- probeRes{idx: b.index, sr: sr}
+				return
+			}
+			var body server.ReadyBody
+			if jerr := json.Unmarshal(res.Body, &body); jerr != nil {
+				sr.Reason = "bad readiness payload"
+				ch <- probeRes{idx: b.index, sr: sr}
+				return
+			}
+			sr.Ready = body.Ready
+			sr.Reason = body.Reason
+			sr.Generation = body.Gen
+			ch <- probeRes{idx: b.index, sr: sr, okay: body.Ready}
+		}(b)
+	}
+	out := ReadyBody{Shards: make([]ShardReady, len(c.backends))}
+	readyCount := 0
+	for range c.backends {
+		pr := <-ch
+		out.Shards[pr.idx] = pr.sr
+		if pr.okay {
+			readyCount++
+		}
+	}
+	switch {
+	case c.draining.Load():
+		out.Ready, out.Reason = false, "draining"
+	case readyCount == 0:
+		out.Ready, out.Reason = false, "no shard ready"
+	default:
+		out.Ready = true
+		out.Degraded = readyCount < len(c.backends)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if !out.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		return fmt.Errorf("cluster: encoding readiness: %w", err)
+	}
+	return nil
+}
+
+// ---- scatter-gather endpoints ----------------------------------------------
+
+// shardGroupWire is the coordinator's decoding of one shard cell-group. The
+// coordinate fields are the shard's wire form (server.GroupBody, local
+// coordinates); the optional parent_* fields let a cluster-aware backend
+// declare a border-spanning group's GLOBAL parent extent — absent, the group
+// is its own parent (true for the stock shard stack, whose partitions are
+// confined to their band).
+type shardGroupWire struct {
+	ID       int       `json:"id"`
+	RowBegin int       `json:"row_begin"`
+	RowEnd   int       `json:"row_end"`
+	ColBegin int       `json:"col_begin"`
+	ColEnd   int       `json:"col_end"`
+	Cells    int       `json:"cells"`
+	Null     bool      `json:"null"`
+	Features []float64 `json:"features"`
+
+	ParentRowBegin *int `json:"parent_row_begin"`
+	ParentRowEnd   *int `json:"parent_row_end"`
+	ParentColBegin *int `json:"parent_col_begin"`
+	ParentColEnd   *int `json:"parent_col_end"`
+}
+
+// shardViewWire is the coordinator's decoding of a shard /view response.
+type shardViewWire struct {
+	Generation int              `json:"generation"`
+	Degraded   bool             `json:"degraded"`
+	Rows       int              `json:"rows"`
+	Cols       int              `json:"cols"`
+	IFL        float64          `json:"ifl"`
+	CellGroups []shardGroupWire `json:"cell_groups"`
+}
+
+// shardViewOf decodes and translates one shard's /view body into the global
+// frame.
+func shardViewOf(b Band, body []byte) (ShardView, error) {
+	var wire shardViewWire
+	if err := json.Unmarshal(body, &wire); err != nil {
+		return ShardView{}, fmt.Errorf("cluster: shard %d view: %w", b.Index, err)
+	}
+	sv := ShardView{
+		Shard:      b.Index,
+		Generation: wire.Generation,
+		Degraded:   wire.Degraded,
+		IFL:        wire.IFL,
+		Fragments:  make([]Fragment, 0, len(wire.CellGroups)),
+	}
+	for _, g := range wire.CellGroups {
+		f := Fragment{
+			Shard:    b.Index,
+			RowBegin: g.RowBegin + b.Row0, RowEnd: g.RowEnd + b.Row0,
+			ColBegin: g.ColBegin, ColEnd: g.ColEnd,
+			Null:       g.Null,
+			Features:   copyFloats(g.Features),
+			Generation: wire.Generation,
+		}
+		if g.ParentRowBegin != nil && g.ParentRowEnd != nil && g.ParentColBegin != nil && g.ParentColEnd != nil {
+			f.ParentRowBegin, f.ParentRowEnd = *g.ParentRowBegin, *g.ParentRowEnd
+			f.ParentColBegin, f.ParentColEnd = *g.ParentColBegin, *g.ParentColEnd
+		} else {
+			f.ParentRowBegin, f.ParentRowEnd = f.RowBegin, f.RowEnd
+			f.ParentColBegin, f.ParentColEnd = f.ColBegin, f.ColEnd
+		}
+		sv.Fragments = append(sv.Fragments, f)
+	}
+	return sv, nil
+}
+
+// scatter fetches pq from every backend concurrently and returns the raw
+// per-shard results (nil error slot = success) in backend order.
+func (c *Coordinator) scatter(ctx context.Context, pq string) ([]fetchResult, []error) {
+	type slot struct {
+		idx int
+		res fetchResult
+		err error
+	}
+	ch := make(chan slot, len(c.backends))
+	for _, b := range c.backends {
+		go func(b *backend) {
+			res, err := c.fetch(ctx, b, pq)
+			ch <- slot{idx: b.index, res: res, err: err}
+		}(b)
+	}
+	results := make([]fetchResult, len(c.backends))
+	errs := make([]error, len(c.backends))
+	for range c.backends {
+		s := <-ch
+		results[s.idx], errs[s.idx] = s.res, s.err
+	}
+	return results, errs
+}
+
+// degradedWarning stamps the stale-response Warning header (the same 110
+// convention the shards use for degraded last-good views).
+func degradedWarning(w http.ResponseWriter) {
+	w.Header().Set("Warning", `110 - "partial or stale cluster response"`)
+}
+
+// handleView scatter-gathers every shard's /view and serves the stitched
+// global partition: GET /view (?groups=false omits the group list). Shards
+// that fail their defended fetch are reported in missing_shards and the
+// response degrades to 200 + Warning; only a fully dark cluster turns into
+// a 503.
+func (c *Coordinator) handleView(w http.ResponseWriter, r *http.Request) error {
+	pq := "/view"
+	includeGroups := r.URL.Query().Get("groups") != "false"
+	results, errs := c.scatter(r.Context(), pq)
+
+	var views []ShardView
+	var missing []int
+	var firstErr error
+	for i := range results {
+		if errs[i] != nil {
+			missing = append(missing, i)
+			if firstErr == nil {
+				firstErr = errs[i]
+			}
+			continue
+		}
+		if results[i].Status != http.StatusOK {
+			missing = append(missing, i)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: shard %d returned status %d", i, results[i].Status)
+			}
+			continue
+		}
+		sv, err := shardViewOf(c.plan.Bands[i], results[i].Body)
+		if err != nil {
+			missing = append(missing, i)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		views = append(views, sv)
+	}
+	if len(views) == 0 {
+		return server.ErrNotReady.WithDetail("no shard reachable: %v", firstErr)
+	}
+	body := AssembleView(c.plan, views, missing, includeGroups)
+	if body.Degraded {
+		degradedWarning(w)
+	}
+	c.obs.SetGauge("cluster.missing_shards", float64(len(missing)))
+	if r.Context().Err() != nil {
+		return server.ErrTimeout.WithDetail("deadline expired before the stitched view was written")
+	}
+	return writeJSON(w, body)
+}
+
+// ShardStats is one shard's entry in the cluster /stats response: the
+// coordinator's client-side counters plus the shard's own report verbatim.
+type ShardStats struct {
+	Shard    int             `json:"shard"`
+	Breaker  string          `json:"breaker"`
+	Opens    int             `json:"breaker_opens"`
+	Failures int             `json:"fetch_failures"`
+	Refused  int             `json:"fetch_refused"`
+	Stats    json.RawMessage `json:"stats,omitempty"`
+}
+
+// StatsBody is the coordinator /stats response.
+type StatsBody struct {
+	MissingShards []int        `json:"missing_shards,omitempty"`
+	Shards        []ShardStats `json:"shards"`
+}
+
+// handleStats scatter-gathers shard /stats reports: GET /stats. Per-shard
+// failures degrade to missing entries, same contract as /view.
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) error {
+	results, errs := c.scatter(r.Context(), "/stats")
+	out := StatsBody{Shards: make([]ShardStats, len(c.backends))}
+	for i, b := range c.backends {
+		b.mu.Lock()
+		out.Shards[i] = ShardStats{
+			Shard:    i,
+			Breaker:  b.brk.State().String(),
+			Opens:    b.brk.Opens(),
+			Failures: b.fails,
+			Refused:  b.refused,
+		}
+		b.mu.Unlock()
+		if errs[i] != nil || results[i].Status != http.StatusOK {
+			out.MissingShards = append(out.MissingShards, i)
+			continue
+		}
+		out.Shards[i].Stats = json.RawMessage(results[i].Body)
+	}
+	if len(out.MissingShards) == len(c.backends) {
+		return server.ErrNotReady.WithDetail("no shard reachable")
+	}
+	if len(out.MissingShards) > 0 {
+		degradedWarning(w)
+	}
+	sort.Ints(out.MissingShards)
+	return writeJSON(w, out)
+}
+
+// routeCell parses and validates the global row/col query parameters and
+// resolves the owning backend.
+func (c *Coordinator) routeCell(r *http.Request) (b *backend, row, col int, err error) {
+	q := r.URL.Query()
+	row, aerr := strconv.Atoi(q.Get("row"))
+	if aerr != nil {
+		return nil, 0, 0, server.ErrBadRequest.WithDetail("row %q: %v", q.Get("row"), aerr)
+	}
+	col, aerr = strconv.Atoi(q.Get("col"))
+	if aerr != nil {
+		return nil, 0, 0, server.ErrBadRequest.WithDetail("col %q: %v", q.Get("col"), aerr)
+	}
+	if row < 0 || row >= c.plan.Rows || col < 0 || col >= c.plan.Cols {
+		return nil, 0, 0, server.ErrNotFound.WithDetail("cell (%d,%d) outside the %dx%d grid", row, col, c.plan.Rows, c.plan.Cols)
+	}
+	shard := c.plan.ShardFor(row)
+	return c.backends[shard], row, col, nil
+}
+
+// CellBody is the coordinator /cell response: the shard-resolved group
+// translated into global coordinates, plus the owning shard.
+type CellBody struct {
+	Row   int              `json:"row"`
+	Col   int              `json:"col"`
+	Shard int              `json:"shard"`
+	Group server.GroupBody `json:"group"`
+}
+
+// handleCell routes a point query to the owning shard:
+// GET /cell?row=R&col=C (global coordinates). The shard is asked for its
+// LOCAL cell; its answer is translated back into the global frame. The
+// group ID is the shard's local ID — global IDs exist only on stitched
+// views, and the body names the shard so (shard, id) is unambiguous.
+func (c *Coordinator) handleCell(w http.ResponseWriter, r *http.Request) error {
+	b, row, col, err := c.routeCell(r)
+	if err != nil {
+		return err
+	}
+	band := c.plan.Bands[b.index]
+	pq := fmt.Sprintf("/cell?row=%d&col=%d", row-band.Row0, col)
+	res, ferr := c.fetch(r.Context(), b, pq)
+	if ferr != nil {
+		return server.ErrNotReady.WithDetail("shard %d unavailable: %v", b.index, ferr)
+	}
+	if res.Status != http.StatusOK {
+		return passthrough(w, res)
+	}
+	var cb struct {
+		Row   int              `json:"row"`
+		Col   int              `json:"col"`
+		Group server.GroupBody `json:"group"`
+	}
+	if jerr := json.Unmarshal(res.Body, &cb); jerr != nil {
+		return server.ErrInternal.WithDetail("shard %d cell payload: %v", b.index, jerr)
+	}
+	cb.Group.RowBegin += band.Row0
+	cb.Group.RowEnd += band.Row0
+	return writeJSON(w, CellBody{Row: row, Col: col, Shard: b.index, Group: cb.Group})
+}
+
+// GroupQueryBody is the coordinator /group response.
+type GroupQueryBody struct {
+	Shard int              `json:"shard"`
+	Group server.GroupBody `json:"group"`
+}
+
+// handleGroup resolves the cell-group containing a global cell:
+// GET /group?row=R&col=C. Groups are addressed by coordinate, not by ID —
+// a global group ID is a property of one stitched view generation, not a
+// stable name the cluster could route on.
+func (c *Coordinator) handleGroup(w http.ResponseWriter, r *http.Request) error {
+	b, row, col, err := c.routeCell(r)
+	if err != nil {
+		return err
+	}
+	band := c.plan.Bands[b.index]
+	pq := fmt.Sprintf("/cell?row=%d&col=%d", row-band.Row0, col)
+	res, ferr := c.fetch(r.Context(), b, pq)
+	if ferr != nil {
+		return server.ErrNotReady.WithDetail("shard %d unavailable: %v", b.index, ferr)
+	}
+	if res.Status != http.StatusOK {
+		return passthrough(w, res)
+	}
+	var cb struct {
+		Group server.GroupBody `json:"group"`
+	}
+	if jerr := json.Unmarshal(res.Body, &cb); jerr != nil {
+		return server.ErrInternal.WithDetail("shard %d cell payload: %v", b.index, jerr)
+	}
+	cb.Group.RowBegin += band.Row0
+	cb.Group.RowEnd += band.Row0
+	return writeJSON(w, GroupQueryBody{Shard: b.index, Group: cb.Group})
+}
+
+// passthrough relays a shard's non-200 answer (status and JSON body) to the
+// client unchanged, so the shard's error taxonomy survives the hop.
+func passthrough(w http.ResponseWriter, res fetchResult) error {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(res.Status)
+	_, err := w.Write(res.Body)
+	if err != nil {
+		return fmt.Errorf("cluster: relaying shard response: %w", err)
+	}
+	return nil
+}

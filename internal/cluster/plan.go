@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"fmt"
+
+	"spatialrepart/internal/grid"
+)
+
+// Band is one shard's slice of the global grid: the contiguous global rows
+// [Row0, Row1) and the latitude sub-range they cover. Shards are full-width
+// row bands — every band spans all columns — so a record's shard is a pure
+// function of its latitude and the routing decision never needs the column.
+type Band struct {
+	Index  int         // shard index, 0-based
+	Row0   int         // first global row owned (inclusive)
+	Row1   int         // one past the last global row owned
+	Bounds grid.Bounds // the band's geographic extent (lat sub-range, full lon)
+}
+
+// Rows returns the number of global rows the band owns.
+func (b Band) Rows() int { return b.Row1 - b.Row0 }
+
+// Plan is the cluster's sharding geometry: the global grid dimensions and the
+// row-band assignment. It is pure data — the coordinator, the shard workers,
+// and the test reference all derive their geometry from the same Plan, so
+// "which shard owns cell (r,c)" has exactly one answer in the system.
+type Plan struct {
+	Rows, Cols int
+	Bounds     grid.Bounds
+	Bands      []Band
+}
+
+// NewPlan splits a rows×cols grid over `shards` contiguous row bands, as
+// balanced as possible: the first rows%shards bands get one extra row. Band
+// latitude cuts are placed exactly on the global row edges (the same
+// arithmetic grid.Bounds.CellOf inverts), so a shard's local grid tiles the
+// global grid without overlap or gap.
+func NewPlan(rows, cols int, bounds grid.Bounds, shards int) (Plan, error) {
+	if err := bounds.Validate(); err != nil {
+		return Plan{}, err
+	}
+	if rows <= 0 || cols <= 0 {
+		return Plan{}, fmt.Errorf("cluster: non-positive grid %dx%d", rows, cols)
+	}
+	if shards <= 0 {
+		return Plan{}, fmt.Errorf("cluster: non-positive shard count %d", shards)
+	}
+	if shards > rows {
+		return Plan{}, fmt.Errorf("cluster: %d shards over %d rows leaves empty bands", shards, rows)
+	}
+	p := Plan{Rows: rows, Cols: cols, Bounds: bounds, Bands: make([]Band, 0, shards)}
+	base, extra := rows/shards, rows%shards
+	row := 0
+	for i := 0; i < shards; i++ {
+		n := base
+		if i < extra {
+			n++
+		}
+		b := Band{Index: i, Row0: row, Row1: row + n}
+		b.Bounds = grid.Bounds{
+			MinLat: latEdge(bounds, rows, b.Row0),
+			MaxLat: latEdge(bounds, rows, b.Row1),
+			MinLon: bounds.MinLon,
+			MaxLon: bounds.MaxLon,
+		}
+		p.Bands = append(p.Bands, b)
+		row += n
+	}
+	return p, nil
+}
+
+// latEdge returns the latitude of the global row edge r (r ∈ [0, rows]).
+// Edges 0 and rows are returned exactly as the global bounds so the outermost
+// bands never shrink by a rounding ulp.
+func latEdge(b grid.Bounds, rows, r int) float64 {
+	switch r {
+	case 0:
+		return b.MinLat
+	case rows:
+		return b.MaxLat
+	}
+	return b.MinLat + float64(r)/float64(rows)*(b.MaxLat-b.MinLat)
+}
+
+// ShardFor returns the index of the band owning global row r, or -1 when r is
+// outside the grid.
+func (p Plan) ShardFor(r int) int {
+	if r < 0 || r >= p.Rows {
+		return -1
+	}
+	for _, b := range p.Bands {
+		if r < b.Row1 {
+			return b.Index
+		}
+	}
+	return -1
+}
+
+// Route assigns a record to its shard and rewrites it into the shard's local
+// frame. The global cell is computed ONCE against the global bounds; the
+// record is then re-positioned at the center of its local cell, so the
+// shard's own grid.Bounds.CellOf — operating on the band's sub-bounds —
+// recovers exactly the same cell regardless of how the latitude cut rounded.
+// Without the re-centering, a record within a float ulp of a band edge could
+// be owned by one shard globally but binned into a different row locally.
+// Returns ok=false for records outside the global bounds (the caller drops
+// them, mirroring the unsharded stream's Dropped counter).
+func (p Plan) Route(rec grid.Record) (shard int, local grid.Record, ok bool) {
+	r, c, ok := p.Bounds.CellOf(rec.Lat, rec.Lon, p.Rows, p.Cols)
+	if !ok {
+		return 0, grid.Record{}, false
+	}
+	shard = p.ShardFor(r)
+	if shard < 0 {
+		return 0, grid.Record{}, false
+	}
+	b := p.Bands[shard]
+	lat, lon := b.Bounds.CellCenter(r-b.Row0, c, b.Rows(), p.Cols)
+	return shard, grid.Record{Lat: lat, Lon: lon, Values: rec.Values}, true
+}

@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"sort"
+
+	"spatialrepart/internal/server"
+	"spatialrepart/internal/stream"
+)
+
+// ShardView is one shard's decoded contribution to a stitched view: its
+// serving metadata plus its cell-groups as global-coordinate fragments. The
+// coordinator builds these from shard /view responses; the in-process test
+// reference builds them straight from stream views — both through the same
+// projection, so the two paths cannot drift.
+type ShardView struct {
+	Shard      int
+	Generation int
+	Degraded   bool
+	IFL        float64
+	Fragments  []Fragment
+}
+
+// ValidCells returns the number of valid (non-null-group) cells the shard
+// contributed — the shard's weight in the stitched IFL.
+func (v ShardView) ValidCells() int {
+	n := 0
+	for _, f := range v.Fragments {
+		if !f.Null {
+			n += f.cells()
+		}
+	}
+	return n
+}
+
+// ShardMeta is the per-shard serving metadata of a stitched view response.
+type ShardMeta struct {
+	Shard      int     `json:"shard"`
+	RowBegin   int     `json:"row_begin"` // global rows [RowBegin, RowEnd] owned
+	RowEnd     int     `json:"row_end"`
+	Generation int     `json:"generation"`
+	Degraded   bool    `json:"degraded"`
+	IFL        float64 `json:"ifl"`
+}
+
+// ViewBody is the coordinator's /view response: the stitched global partition
+// plus the cluster's serving metadata. CellGroups reuses the shard wire type
+// (server.GroupBody) with globally renumbered IDs, so a healthy single-shard
+// cluster serves exactly the bytes the unsharded server would. Degraded is
+// true whenever the stitched view is anything less than the full fresh grid
+// (missing shard, degraded shard, or a dropped boundary group) and is also
+// signaled via the Warning: 110 header.
+type ViewBody struct {
+	Degraded      bool               `json:"degraded"`
+	Rows          int                `json:"rows"`
+	Cols          int                `json:"cols"`
+	Groups        int                `json:"groups"`
+	ValidGroups   int                `json:"valid_groups"`
+	IFL           float64            `json:"ifl"`
+	Shards        []ShardMeta        `json:"shards"`
+	MissingShards []int              `json:"missing_shards,omitempty"`
+	DroppedGroups []DroppedGroup     `json:"dropped_groups,omitempty"`
+	CellGroups    []server.GroupBody `json:"cell_groups,omitempty"`
+}
+
+// AssembleView stitches the present shard views into the cluster /view body.
+// missing lists the shards that produced no usable response (breaker open,
+// unreachable, bad payload); the body carries them explicitly instead of
+// silently serving a hole.
+//
+// The stitched IFL is the valid-cell-weighted mean of the shard IFLs — each
+// shard's IFL is itself a mean over its valid cells, so the weighted fold
+// recovers the global mean. When exactly one shard contributes, its IFL is
+// passed through verbatim (bit-exact, no re-rounding through the fold).
+func AssembleView(p Plan, views []ShardView, missing []int, includeGroups bool) ViewBody {
+	sort.Slice(views, func(i, j int) bool { return views[i].Shard < views[j].Shard })
+	body := ViewBody{
+		Rows:          p.Rows,
+		Cols:          p.Cols,
+		Shards:        make([]ShardMeta, 0, len(views)),
+		MissingShards: append([]int(nil), missing...),
+	}
+	sort.Ints(body.MissingShards)
+
+	var frags []Fragment
+	weighted, weight := 0.0, 0
+	for _, v := range views {
+		b := p.Bands[v.Shard]
+		body.Shards = append(body.Shards, ShardMeta{
+			Shard:      v.Shard,
+			RowBegin:   b.Row0,
+			RowEnd:     b.Row1 - 1,
+			Generation: v.Generation,
+			Degraded:   v.Degraded,
+			IFL:        v.IFL,
+		})
+		if v.Degraded {
+			body.Degraded = true
+		}
+		frags = append(frags, v.Fragments...)
+		vc := v.ValidCells()
+		weighted += float64(vc) * v.IFL
+		weight += vc
+	}
+	switch {
+	case len(views) == 1:
+		body.IFL = views[0].IFL
+	case weight > 0:
+		body.IFL = weighted / float64(weight)
+	}
+
+	res := Stitch(p.Rows, p.Cols, frags)
+	body.DroppedGroups = res.Dropped
+	if len(body.MissingShards) > 0 || len(res.Dropped) > 0 {
+		body.Degraded = true
+	}
+	body.Groups = len(res.Groups)
+	for gi, g := range res.Groups {
+		if !g.Null {
+			body.ValidGroups++
+		}
+		if includeGroups {
+			body.CellGroups = append(body.CellGroups, server.GroupBody{
+				ID:       gi,
+				RowBegin: g.RowBegin,
+				RowEnd:   g.RowEnd,
+				ColBegin: g.ColBegin,
+				ColEnd:   g.ColEnd,
+				Cells:    g.Cells(),
+				Null:     g.Null,
+				Features: g.Features,
+			})
+		}
+	}
+	return body
+}
+
+// FragmentsOf projects a shard's served view into global-coordinate
+// fragments: local extents are translated by the band's row offset and each
+// group is its own parent (a shard's repartition is confined to its band, so
+// none of its groups span a border). This is the in-process twin of the
+// coordinator's wire decoding — both must produce identical fragments for
+// the same view, which the byte-identity property tests enforce end to end.
+func FragmentsOf(b Band, v stream.View) []Fragment {
+	frags := make([]Fragment, 0, v.NumGroups())
+	for gi, cg := range v.Partition.Groups {
+		f := Fragment{
+			Shard:    b.Index,
+			RowBegin: cg.RBeg + b.Row0, RowEnd: cg.REnd + b.Row0,
+			ColBegin: cg.CBeg, ColEnd: cg.CEnd,
+			Null:       cg.Null,
+			Generation: v.Generation,
+		}
+		f.ParentRowBegin, f.ParentRowEnd = f.RowBegin, f.RowEnd
+		f.ParentColBegin, f.ParentColEnd = f.ColBegin, f.ColEnd
+		if gi < len(v.Features) && v.Features[gi] != nil {
+			f.Features = copyFloats(v.Features[gi])
+		}
+		frags = append(frags, f)
+	}
+	return frags
+}

@@ -6,7 +6,7 @@ import (
 	"time"
 )
 
-// admission is the bounded-concurrency gate in front of every query handler:
+// Admission is the bounded-concurrency gate in front of every query handler:
 // at most maxInFlight requests execute at once, at most maxQueue more wait
 // for a slot, and every waiter carries a deadline (the configured queue wait,
 // clipped by the request's own context). Anything beyond that is shed
@@ -17,7 +17,7 @@ import (
 // Draining flips the gate shut: nothing new is admitted, queued waiters are
 // rejected, and the drained channel closes once the last in-flight request
 // releases — that is the graceful-shutdown barrier.
-type admission struct {
+type Admission struct {
 	mu          sync.Mutex
 	maxInFlight int
 	maxQueue    int
@@ -27,10 +27,10 @@ type admission struct {
 	draining bool
 	drained  chan struct{} // closed when draining && inflight == 0
 
-	// onQueued, if set, fires the moment a request enters the wait queue —
+	// OnQueued, if set, fires the moment a request enters the wait queue —
 	// not when it leaves — so queueing decisions are observable while the
 	// waiter is still waiting.
-	onQueued func()
+	OnQueued func()
 }
 
 // waiter is one queued request. Its channel is buffered so the releasing
@@ -40,18 +40,18 @@ type waiter struct {
 	ch chan bool
 }
 
-func newAdmission(maxInFlight, maxQueue int) *admission {
-	return &admission{
+func NewAdmission(maxInFlight, maxQueue int) *Admission {
+	return &Admission{
 		maxInFlight: maxInFlight,
 		maxQueue:    maxQueue,
 		drained:     make(chan struct{}),
 	}
 }
 
-// admit blocks until the request holds an in-flight slot, or sheds it.
+// Admit blocks until the request holds an in-flight slot, or sheds it.
 // queued reports whether the request had to wait (for metrics). The caller
-// must pair a nil return with exactly one release().
-func (a *admission) admit(ctx context.Context, clock Clock, maxWait time.Duration) (queued bool, err error) {
+// must pair a nil return with exactly one Release().
+func (a *Admission) Admit(ctx context.Context, clock Clock, maxWait time.Duration) (queued bool, err error) {
 	a.mu.Lock()
 	if a.draining {
 		a.mu.Unlock()
@@ -68,8 +68,8 @@ func (a *admission) admit(ctx context.Context, clock Clock, maxWait time.Duratio
 	}
 	w := &waiter{ch: make(chan bool, 1)}
 	a.waiters = append(a.waiters, w)
-	if a.onQueued != nil {
-		a.onQueued()
+	if a.OnQueued != nil {
+		a.OnQueued()
 	}
 	a.mu.Unlock()
 
@@ -105,7 +105,7 @@ func (a *admission) admit(ctx context.Context, clock Clock, maxWait time.Duratio
 
 // removeWaiter unlinks w from the queue, reporting whether it was still
 // queued. Caller holds a.mu.
-func (a *admission) removeWaiter(w *waiter) bool {
+func (a *Admission) removeWaiter(w *waiter) bool {
 	for i, q := range a.waiters {
 		if q == w {
 			a.waiters = append(a.waiters[:i], a.waiters[i+1:]...)
@@ -115,10 +115,10 @@ func (a *admission) removeWaiter(w *waiter) bool {
 	return false
 }
 
-// release returns an in-flight slot. If a waiter is queued (and the server is
+// Release returns an in-flight slot. If a waiter is queued (and the server is
 // not draining) the slot transfers directly — the in-flight count never dips,
 // so shedding decisions stay exact under handoff races.
-func (a *admission) release() {
+func (a *Admission) Release() {
 	a.mu.Lock()
 	if !a.draining && len(a.waiters) > 0 {
 		w := a.waiters[0]
@@ -132,10 +132,10 @@ func (a *admission) release() {
 	a.mu.Unlock()
 }
 
-// beginDrain shuts the gate: future admits fail with ErrDraining and every
+// BeginDrain shuts the gate: future admits fail with ErrDraining and every
 // queued waiter is rejected now (they hold no slot, so completing them is
 // not part of the drain contract — only admitted requests are).
-func (a *admission) beginDrain() {
+func (a *Admission) BeginDrain() {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.draining {
@@ -151,7 +151,7 @@ func (a *admission) beginDrain() {
 
 // checkDrainedLocked closes the drain barrier once the last admitted request
 // has released. Caller holds a.mu.
-func (a *admission) checkDrainedLocked() {
+func (a *Admission) checkDrainedLocked() {
 	if a.draining && a.inflight == 0 {
 		select {
 		case <-a.drained:
@@ -161,9 +161,9 @@ func (a *admission) checkDrainedLocked() {
 	}
 }
 
-// awaitDrained blocks until every admitted request has released, or ctx
+// AwaitDrained blocks until every admitted request has released, or ctx
 // expires (the drain deadline).
-func (a *admission) awaitDrained(ctx context.Context) error {
+func (a *Admission) AwaitDrained(ctx context.Context) error {
 	select {
 	case <-a.drained:
 		return nil
@@ -172,8 +172,8 @@ func (a *admission) awaitDrained(ctx context.Context) error {
 	}
 }
 
-// depth returns the current in-flight and queued counts (for gauges).
-func (a *admission) depth() (inflight, queued int) {
+// Depth returns the current in-flight and queued counts (for gauges).
+func (a *Admission) Depth() (inflight, queued int) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.inflight, len(a.waiters)

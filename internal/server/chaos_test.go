@@ -240,7 +240,7 @@ func TestChaosQueueDeadline(t *testing.T) {
 
 	close(src.gate)
 	wg.Wait()
-	if inflight, queued := s.adm.depth(); inflight != 0 || queued != 0 {
+	if inflight, queued := s.adm.Depth(); inflight != 0 || queued != 0 {
 		t.Errorf("final depth: inflight=%d queued=%d", inflight, queued)
 	}
 }
@@ -498,7 +498,7 @@ func TestChaosInjectedFault(t *testing.T) {
 	if status, _, _ := get(t, ts.URL+"/view"); status != http.StatusOK {
 		t.Fatalf("post-chaos request = %d", status)
 	}
-	if inflight, queued := s.adm.depth(); inflight != 0 || queued != 0 {
+	if inflight, queued := s.adm.Depth(); inflight != 0 || queued != 0 {
 		t.Errorf("depth after chaos: inflight=%d queued=%d", inflight, queued)
 	}
 }

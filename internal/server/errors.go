@@ -13,7 +13,7 @@ import (
 // HTTP status, and is written to the client as a JSON body
 // {"error": code, "detail": ...} (plus a Retry-After header when the failure
 // is load-induced and retrying elsewhere/later makes sense). Handlers return
-// errors; only writeError talks to the ResponseWriter, so the wire format is
+// errors; only WriteError talks to the ResponseWriter, so the wire format is
 // uniform.
 type Error struct {
 	// Status is the HTTP status code the error maps to.
@@ -109,10 +109,10 @@ func asError(err error) *Error {
 	return ErrInternal.WithDetail("%v", err)
 }
 
-// writeError writes err's taxonomy mapping to w as a JSON error body. If the
+// WriteError writes err's taxonomy mapping to w as a JSON error body. If the
 // handler already started the response the status cannot be changed, so
 // nothing further is written (the truncated response is the client's signal).
-func writeError(w http.ResponseWriter, err error) {
+func WriteError(w http.ResponseWriter, err error) {
 	sw, ok := w.(*statusWriter)
 	if ok && sw.wrote {
 		return

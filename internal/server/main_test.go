@@ -1,0 +1,12 @@
+package server
+
+import (
+	"testing"
+
+	"spatialrepart/internal/testutil"
+)
+
+// TestMain fails the suite if any test leaks a goroutine — an unfinished
+// drain, an abandoned queue waiter, or a server left serving would otherwise
+// survive silently until an unrelated -race run trips over it.
+func TestMain(m *testing.M) { testutil.VerifyNoLeaks(m) }

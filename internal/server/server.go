@@ -66,8 +66,15 @@ type Config struct {
 	// request context (default 5s).
 	RequestTimeout time.Duration
 	// RetryAfter is the Retry-After hint attached to shed (503) responses
-	// (default 1s).
+	// (default 1s). The advertised value is jittered per response into
+	// [RetryAfter/2, RetryAfter) so a fleet of clients (or an upstream
+	// coordinator's retry loop) shed at the same instant does not
+	// thundering-herd a recovering shard when the hint expires.
 	RetryAfter time.Duration
+	// RetryAfterJitterSeed seeds the deterministic Retry-After jitter
+	// stream (0 = a fixed default), so tests can pin the exact advertised
+	// values while distinct servers in a cluster can be de-synchronized.
+	RetryAfterJitterSeed int64
 
 	// RatePerSec/RateBurst configure the global token bucket (0 = no global
 	// rate limit; burst defaults to max(1, RatePerSec)).
@@ -111,7 +118,7 @@ type Config struct {
 type Server struct {
 	cfg   Config
 	src   Source
-	adm   *admission
+	adm   *Admission
 	lim   *limiter
 	clock Clock
 	obs   *obs.Observer
@@ -124,6 +131,11 @@ type Server struct {
 	logger   *slog.Logger
 	logEvery uint64
 	reqSeq   atomic.Uint64
+
+	// retryRng is the SplitMix64 state behind the jittered Retry-After
+	// hints. Advanced with a single atomic add per shed, so concurrent
+	// sheds draw distinct, deterministic values without a lock.
+	retryRng atomic.Uint64
 }
 
 // New validates cfg, applies defaults, and returns a ready-to-mount Server.
@@ -163,7 +175,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		src:      cfg.Source,
-		adm:      newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
+		adm:      NewAdmission(cfg.MaxInFlight, cfg.MaxQueue),
 		lim:      newLimiter(cfg.RatePerSec, cfg.RateBurst, cfg.ClientRatePerSec, cfg.ClientRateBurst, clock.Now()),
 		clock:    clock,
 		obs:      cfg.Obs,
@@ -171,7 +183,12 @@ func New(cfg Config) (*Server, error) {
 		logger:   cfg.Logger,
 		logEvery: uint64(logEvery),
 	}
-	s.adm.onQueued = func() { s.obs.Count("server.queued", 1) }
+	seed := cfg.RetryAfterJitterSeed
+	if seed == 0 {
+		seed = 1
+	}
+	s.retryRng.Store(uint64(seed))
+	s.adm.OnQueued = func() { s.obs.Count("server.queued", 1) }
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.probe(s.handleHealthz))
 	mux.HandleFunc("/readyz", s.probe(s.handleReadyz))
@@ -212,8 +229,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	start := s.clock.Now()
 	s.draining.Store(true)
 	s.obs.SetGauge("server.draining", 1)
-	s.adm.beginDrain()
-	drainErr := s.adm.awaitDrained(ctx)
+	s.adm.BeginDrain()
+	drainErr := s.adm.AwaitDrained(ctx)
 	s.obs.SetGauge("server.drain_ns", float64(s.clock.Now().Sub(start).Nanoseconds()))
 	if s.httpSrv != nil {
 		if drainErr != nil {
@@ -238,11 +255,11 @@ func (s *Server) probe(h handlerFunc) http.HandlerFunc {
 		sw := &statusWriter{ResponseWriter: w}
 		defer s.recoverRequest(sw)
 		if r.Method != http.MethodGet && r.Method != http.MethodHead {
-			writeError(sw, ErrMethodNotAllowed.WithDetail("%s not allowed", r.Method))
+			WriteError(sw, ErrMethodNotAllowed.WithDetail("%s not allowed", r.Method))
 			return
 		}
 		if err := h(sw, r); err != nil {
-			writeError(sw, err)
+			WriteError(sw, err)
 		}
 	}
 }
@@ -277,7 +294,7 @@ func (s *Server) query(route string, h handlerFunc) http.HandlerFunc {
 		defer s.recoverRequest(sw)
 
 		if r.Method != http.MethodGet {
-			writeError(sw, ErrMethodNotAllowed.WithDetail("%s not allowed; query endpoints are GET-only", r.Method))
+			WriteError(sw, ErrMethodNotAllowed.WithDetail("%s not allowed; query endpoints are GET-only", r.Method))
 			return
 		}
 		r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
@@ -285,7 +302,7 @@ func (s *Server) query(route string, h handlerFunc) http.HandlerFunc {
 		if ok, wait := s.lim.allow(clientKey(r), s.clock.Now()); !ok {
 			s.obs.Count("server.rate_limited", 1)
 			shed = "rate_limited"
-			writeError(sw, ErrRateLimited.
+			WriteError(sw, ErrRateLimited.
 				WithDetail("token bucket empty; retry after %v", wait).
 				withRetryAfter(wait))
 			return
@@ -295,27 +312,27 @@ func (s *Server) query(route string, h handlerFunc) http.HandlerFunc {
 		defer cancel()
 		r = r.WithContext(ctx)
 
-		queued, err := s.adm.admit(ctx, s.clock, s.cfg.QueueWait)
+		queued, err := s.adm.Admit(ctx, s.clock, s.cfg.QueueWait)
 		if err != nil {
 			shed = s.countShed(queued, err)
-			writeError(sw, attachRetryAfter(err, s.cfg.RetryAfter))
+			WriteError(sw, s.attachRetryAfter(err))
 			return
 		}
-		defer s.adm.release()
+		defer s.adm.Release()
 		s.obs.Count("server.admitted", 1)
-		inflight, qdepth := s.adm.depth()
+		inflight, qdepth := s.adm.Depth()
 		s.obs.SetGauge("server.inflight", float64(inflight))
 		s.obs.SetGauge("server.queue_depth", float64(qdepth))
 
 		if ferr := s.flt.Hit("server.request"); ferr != nil {
-			writeError(sw, asError(ferr))
+			WriteError(sw, asError(ferr))
 			return
 		}
 		if err := h(sw, r); err != nil {
 			if ctx.Err() != nil {
 				err = ErrTimeout.WithDetail("request deadline (%v) expired: %v", s.cfg.RequestTimeout, err)
 			}
-			writeError(sw, err)
+			WriteError(sw, err)
 		}
 	}
 }
@@ -367,7 +384,7 @@ func (s *Server) finishRequest(sw *statusWriter, route, shed string, sp obs.Span
 func (s *Server) recoverRequest(sw *statusWriter) {
 	if rec := recover(); rec != nil {
 		s.obs.Count("server.panics", 1)
-		writeError(sw, ErrInternal.WithDetail("handler panicked: %v", rec))
+		WriteError(sw, ErrInternal.WithDetail("handler panicked: %v", rec))
 	}
 }
 
@@ -389,14 +406,31 @@ func (s *Server) countShed(queued bool, err error) string {
 	return reason
 }
 
-// attachRetryAfter decorates shed errors with the configured Retry-After
-// hint; other errors pass through.
-func attachRetryAfter(err error, d time.Duration) error {
+// attachRetryAfter decorates shed errors with a jittered Retry-After hint;
+// other errors pass through. Each shed draws a deterministic factor in
+// [0.5, 1.0) from the server's seeded SplitMix64 stream, spreading the
+// moment a synchronized burst of shed clients comes back.
+func (s *Server) attachRetryAfter(err error) error {
 	se := asError(err)
 	if (is(se, ErrOverloaded) || is(se, ErrDraining)) && se.RetryAfter == 0 {
-		return se.withRetryAfter(d)
+		return se.withRetryAfter(s.jitteredRetryAfter())
 	}
 	return err
+}
+
+// jitteredRetryAfter scales the configured Retry-After by the next factor in
+// [0.5, 1.0) of the seeded jitter stream.
+func (s *Server) jitteredRetryAfter() time.Duration {
+	// SplitMix64: an atomic add of the Weyl constant advances the stream;
+	// the mix function turns the state into the output. Concurrent sheds
+	// each get a distinct draw, and the sequence is seed-deterministic.
+	x := s.retryRng.Add(0x9e3779b97f4a7c15)
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	f := 0.5 + 0.5*float64(z>>11)/float64(1<<53)
+	return time.Duration(float64(s.cfg.RetryAfter) * f)
 }
 
 // is reports whether err matches the sentinel by Code.
@@ -426,8 +460,8 @@ func writeJSON(w http.ResponseWriter, v any) error {
 
 // ---- probe endpoints -------------------------------------------------------
 
-// healthBody is the /healthz response.
-type healthBody struct {
+// HealthBody is the /healthz response.
+type HealthBody struct {
 	Status   string `json:"status"` // always "ok": the process is up and serving
 	Draining bool   `json:"draining,omitempty"`
 }
@@ -437,11 +471,11 @@ type healthBody struct {
 // its dependency is failing only amplifies an outage; that signal belongs to
 // readiness.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) error {
-	return writeJSON(w, healthBody{Status: "ok", Draining: s.draining.Load()})
+	return writeJSON(w, HealthBody{Status: "ok", Draining: s.draining.Load()})
 }
 
-// readyBody is the /readyz response.
-type readyBody struct {
+// ReadyBody is the /readyz response.
+type ReadyBody struct {
 	Ready    bool   `json:"ready"`
 	Reason   string `json:"reason,omitempty"` // why not ready
 	Degraded bool   `json:"degraded"`         // ready but serving a stale last-good view
@@ -456,7 +490,7 @@ type readyBody struct {
 // fault-tolerance contract working, not an outage.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) error {
 	st := s.src.Stats()
-	body := readyBody{
+	body := ReadyBody{
 		Ready:   true,
 		Breaker: st.Breaker.String(),
 		Gen:     st.Generation,
@@ -483,8 +517,8 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) error {
 
 // ---- query endpoints -------------------------------------------------------
 
-// groupJSON is one cell-group of the served view.
-type groupJSON struct {
+// GroupBody is one cell-group of the served view.
+type GroupBody struct {
 	ID       int       `json:"id"`
 	RowBegin int       `json:"row_begin"`
 	RowEnd   int       `json:"row_end"`
@@ -495,10 +529,10 @@ type groupJSON struct {
 	Features []float64 `json:"features,omitempty"`
 }
 
-// viewJSON is the /view response: the full served partition plus its serving
+// ViewBody is the /view response: the full served partition plus its serving
 // metadata. Degraded mirrors the view flag (also signaled via the Warning
 // header).
-type viewJSON struct {
+type ViewBody struct {
 	Generation  int         `json:"generation"`
 	Degraded    bool        `json:"degraded"`
 	Rows        int         `json:"rows"`
@@ -506,7 +540,7 @@ type viewJSON struct {
 	Groups      int         `json:"groups"`
 	ValidGroups int         `json:"valid_groups"`
 	IFL         float64     `json:"ifl"`
-	CellGroups  []groupJSON `json:"cell_groups,omitempty"`
+	CellGroups  []GroupBody `json:"cell_groups,omitempty"`
 }
 
 // currentView fetches the servable view, mapping "no view ever" to the
@@ -535,21 +569,7 @@ func (s *Server) handleView(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	out := viewJSON{
-		Generation:  v.Generation,
-		Degraded:    v.Degraded,
-		Rows:        v.Partition.Rows,
-		Cols:        v.Partition.Cols,
-		Groups:      v.NumGroups(),
-		ValidGroups: v.ValidGroups(),
-		IFL:         v.IFL,
-	}
-	if r.URL.Query().Get("groups") != "false" {
-		out.CellGroups = make([]groupJSON, 0, v.NumGroups())
-		for gi := range v.Partition.Groups {
-			out.CellGroups = append(out.CellGroups, groupInfo(v, gi))
-		}
-	}
+	out := ViewBodyOf(v, r.URL.Query().Get("groups") != "false")
 	if r.Context().Err() != nil {
 		return ErrTimeout.WithDetail("deadline expired before the view was written")
 	}
@@ -569,14 +589,14 @@ func (s *Server) handleGroup(w http.ResponseWriter, r *http.Request) error {
 	if id < 0 || id >= v.NumGroups() {
 		return ErrNotFound.WithDetail("group %d outside [0, %d)", id, v.NumGroups())
 	}
-	return writeJSON(w, groupInfo(v, id))
+	return writeJSON(w, GroupBodyOf(v, id))
 }
 
-// cellJSON is the /cell response: the group containing one grid cell.
-type cellJSON struct {
+// CellBody is the /cell response: the group containing one grid cell.
+type CellBody struct {
 	Row   int       `json:"row"`
 	Col   int       `json:"col"`
-	Group groupJSON `json:"group"`
+	Group GroupBody `json:"group"`
 }
 
 // handleCell resolves the cell-group containing a grid cell:
@@ -599,7 +619,7 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) error {
 	if row < 0 || row >= p.Rows || col < 0 || col >= p.Cols {
 		return ErrNotFound.WithDetail("cell (%d,%d) outside the %dx%d grid", row, col, p.Rows, p.Cols)
 	}
-	return writeJSON(w, cellJSON{Row: row, Col: col, Group: groupInfo(v, p.GroupOf(row, col))})
+	return writeJSON(w, CellBody{Row: row, Col: col, Group: GroupBodyOf(v, p.GroupOf(row, col))})
 }
 
 // handleStats serves the stream's machine-readable report: GET /stats.
@@ -607,10 +627,33 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) error {
 	return writeJSON(w, s.src.Report())
 }
 
-// groupInfo projects group gi of the view into its wire form.
-func groupInfo(v stream.View, gi int) groupJSON {
+// ViewBodyOf projects a served view into its wire form — the single
+// projection both the shard serving path and the cluster coordinator's
+// in-process reference use, so "what a shard serves" and "what the stitcher
+// expects" can never drift.
+func ViewBodyOf(v stream.View, includeGroups bool) ViewBody {
+	out := ViewBody{
+		Generation:  v.Generation,
+		Degraded:    v.Degraded,
+		Rows:        v.Partition.Rows,
+		Cols:        v.Partition.Cols,
+		Groups:      v.NumGroups(),
+		ValidGroups: v.ValidGroups(),
+		IFL:         v.IFL,
+	}
+	if includeGroups {
+		out.CellGroups = make([]GroupBody, 0, v.NumGroups())
+		for gi := range v.Partition.Groups {
+			out.CellGroups = append(out.CellGroups, GroupBodyOf(v, gi))
+		}
+	}
+	return out
+}
+
+// GroupBodyOf projects group gi of the view into its wire form.
+func GroupBodyOf(v stream.View, gi int) GroupBody {
 	cg := v.Partition.Groups[gi]
-	g := groupJSON{
+	g := GroupBody{
 		ID:       gi,
 		RowBegin: cg.RBeg,
 		RowEnd:   cg.REnd,

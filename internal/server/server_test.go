@@ -329,7 +329,7 @@ func TestPanicIsolation(t *testing.T) {
 		t.Fatalf("request after panic = %d", status)
 	}
 	// In-flight accounting was not leaked by the panic.
-	if inflight, _ := s.adm.depth(); inflight != 0 {
+	if inflight, _ := s.adm.Depth(); inflight != 0 {
 		t.Errorf("in-flight after panic = %d", inflight)
 	}
 }
@@ -386,58 +386,58 @@ func TestLimiterPrunesIdleClients(t *testing.T) {
 }
 
 func TestAdmissionQueueHandoff(t *testing.T) {
-	a := newAdmission(1, 1)
+	a := NewAdmission(1, 1)
 	clock := realClock{}
-	if q, err := a.admit(context.Background(), clock, time.Second); err != nil || q {
+	if q, err := a.Admit(context.Background(), clock, time.Second); err != nil || q {
 		t.Fatalf("first admit: queued=%v err=%v", q, err)
 	}
 
 	// Second request queues; release hands the slot over directly.
 	done := make(chan error, 1)
 	go func() {
-		q, err := a.admit(context.Background(), clock, 5*time.Second)
+		q, err := a.Admit(context.Background(), clock, 5*time.Second)
 		if err == nil && !q {
 			err = errors.New("handed-off admit not marked queued")
 		}
 		done <- err
 	}()
 	for {
-		if _, queued := a.depth(); queued == 1 {
+		if _, queued := a.Depth(); queued == 1 {
 			break
 		}
 		time.Sleep(time.Millisecond)
 	}
 	// Queue full now: a third request is shed immediately.
-	if _, err := a.admit(context.Background(), clock, time.Second); !errors.Is(err, ErrOverloaded) {
+	if _, err := a.Admit(context.Background(), clock, time.Second); !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("over-queue admit err = %v", err)
 	}
-	a.release()
+	a.Release()
 	if err := <-done; err != nil {
 		t.Fatal(err)
 	}
-	if inflight, queued := a.depth(); inflight != 1 || queued != 0 {
+	if inflight, queued := a.Depth(); inflight != 1 || queued != 0 {
 		t.Fatalf("after handoff: inflight=%d queued=%d", inflight, queued)
 	}
-	a.release()
-	if inflight, _ := a.depth(); inflight != 0 {
+	a.Release()
+	if inflight, _ := a.Depth(); inflight != 0 {
 		t.Fatalf("final inflight = %d", inflight)
 	}
 }
 
 func TestAdmissionCanceledWhileQueued(t *testing.T) {
-	a := newAdmission(1, 4)
+	a := NewAdmission(1, 4)
 	clock := realClock{}
-	if _, err := a.admit(context.Background(), clock, time.Second); err != nil {
+	if _, err := a.Admit(context.Background(), clock, time.Second); err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		_, err := a.admit(ctx, clock, time.Hour)
+		_, err := a.Admit(ctx, clock, time.Hour)
 		done <- err
 	}()
 	for {
-		if _, queued := a.depth(); queued == 1 {
+		if _, queued := a.Depth(); queued == 1 {
 			break
 		}
 		time.Sleep(time.Millisecond)
@@ -446,10 +446,10 @@ func TestAdmissionCanceledWhileQueued(t *testing.T) {
 	if err := <-done; !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("canceled waiter err = %v", err)
 	}
-	if _, queued := a.depth(); queued != 0 {
+	if _, queued := a.Depth(); queued != 0 {
 		t.Fatal("canceled waiter left in queue")
 	}
-	a.release()
+	a.Release()
 }
 
 func TestServeAndShutdownOverTCP(t *testing.T) {

@@ -154,7 +154,7 @@ func (w lockedWriter) Write(p []byte) (int, error) {
 func TestShedReasonInSpan(t *testing.T) {
 	o := obs.NewSeeded(4)
 	s, ts := newTestServer(t, Config{Source: readySource(), Obs: o})
-	s.adm.beginDrain()
+	s.adm.BeginDrain()
 	resp, err := http.Get(ts.URL + "/view")
 	if err != nil {
 		t.Fatal(err)

@@ -1,133 +1,24 @@
 package stream
 
-import "time"
+import "spatialrepart/internal/breaker"
 
-// BreakerState is the circuit breaker's serving state (DESIGN.md §3.16).
-type BreakerState int
+// BreakerState re-exports the shared circuit-breaker state (DESIGN.md §3.16).
+// The state machine itself lives in internal/breaker, extracted so the
+// cluster coordinator's per-backend breakers and the stream's recompute
+// breaker share one implementation; the stream's exported names are kept so
+// serving-layer callers (internal/server's readiness logic, tests) are
+// unaffected by the move.
+type BreakerState = breaker.State
 
 const (
 	// BreakerClosed: recompute attempts proceed normally (subject to the
 	// post-failure retry backoff).
-	BreakerClosed BreakerState = iota
+	BreakerClosed = breaker.Closed
 	// BreakerOpen: FailureThreshold consecutive failures occurred; attempts
 	// are skipped and the last-good view is served degraded until the
 	// backoff deadline passes.
-	BreakerOpen
+	BreakerOpen = breaker.Open
 	// BreakerHalfOpen: the backoff deadline passed while open and exactly
 	// one probe attempt is in flight; other callers keep serving degraded.
-	BreakerHalfOpen
+	BreakerHalfOpen = breaker.HalfOpen
 )
-
-// String implements fmt.Stringer.
-func (s BreakerState) String() string {
-	switch s {
-	case BreakerClosed:
-		return "closed"
-	case BreakerOpen:
-		return "open"
-	case BreakerHalfOpen:
-		return "half-open"
-	}
-	return "unknown"
-}
-
-// breaker is the stream's retry/backoff and circuit-breaker bookkeeping.
-// It is not self-locking: the Repartitioner mutates it under s.mu only.
-//
-// State machine: every failed attempt schedules the next attempt at
-// now + jitter(backoff) and doubles the (capped) backoff; once
-// `threshold` CONSECUTIVE failures accumulate the breaker opens. An open
-// breaker admits exactly one probe after the deadline (half-open); the
-// probe's success closes the breaker and resets the backoff, its failure
-// re-opens with a further-doubled backoff. The jitter is drawn from a
-// seeded SplitMix64 stream, so the whole schedule is deterministic given
-// the seed and the failure sequence.
-type breaker struct {
-	state       BreakerState
-	threshold   int           // consecutive failures that open the breaker
-	consecutive int           // consecutive failures so far
-	opens       int           // times the breaker transitioned to open
-	initial     time.Duration // backoff after the first failure
-	max         time.Duration // backoff cap
-	backoff     time.Duration // next scheduled backoff
-	retryAt     time.Time     // no attempts before this instant
-	rng         uint64        // SplitMix64 state for the jitter
-}
-
-func newBreaker(threshold int, initial, max time.Duration, seed int64) *breaker {
-	return &breaker{
-		threshold: threshold,
-		initial:   initial,
-		max:       max,
-		backoff:   initial,
-		rng:       uint64(seed),
-	}
-}
-
-// allow reports whether an attempt may proceed at `now`, performing the
-// open → half-open transition when the backoff deadline has passed. While
-// half-open (a probe in flight) all further attempts are refused.
-func (b *breaker) allow(now time.Time) bool {
-	switch b.state {
-	case BreakerClosed:
-		return !now.Before(b.retryAt)
-	case BreakerOpen:
-		if now.Before(b.retryAt) {
-			return false
-		}
-		b.state = BreakerHalfOpen
-		return true
-	case BreakerHalfOpen:
-		return false
-	}
-	return true
-}
-
-// success records a successful attempt: the breaker closes and the retry
-// schedule resets.
-func (b *breaker) success() {
-	b.state = BreakerClosed
-	b.consecutive = 0
-	b.backoff = b.initial
-	b.retryAt = time.Time{}
-}
-
-// failure records a failed attempt at `now`: the next attempt is pushed
-// jitter(backoff) into the future, the backoff doubles (capped at max), and
-// the breaker opens once the consecutive-failure threshold is reached (a
-// failed half-open probe re-opens immediately).
-func (b *breaker) failure(now time.Time) {
-	b.consecutive++
-	b.retryAt = now.Add(b.jittered(b.backoff))
-	if b.backoff < b.max {
-		b.backoff *= 2
-		if b.backoff > b.max {
-			b.backoff = b.max
-		}
-	}
-	wasOpen := b.state != BreakerClosed
-	if wasOpen || b.consecutive >= b.threshold {
-		if b.state != BreakerOpen {
-			b.opens++
-		}
-		b.state = BreakerOpen
-	}
-}
-
-// jittered scales d by a deterministic factor in [0.5, 1.0): full-jitter's
-// thundering-herd protection without full-jitter's nondeterminism.
-func (b *breaker) jittered(d time.Duration) time.Duration {
-	b.rng = splitmix64(b.rng)
-	f := 0.5 + 0.5*float64(b.rng>>11)/float64(1<<53)
-	return time.Duration(float64(d) * f)
-}
-
-// splitmix64 is the SplitMix64 output function — a tiny, seedable,
-// allocation-free PRNG step (the same generator internal/fault uses).
-func splitmix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	z := x
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
-}

@@ -400,7 +400,7 @@ func (s *Repartitioner) Restore(r io.Reader) error {
 	s.sinceLastCheck = sinceCheck
 	s.stats = st
 	s.current = nil
-	s.breaker.success()
+	s.brk.Success()
 	s.opts.Obs.Count("stream.restores", 1)
 	s.opts.Obs.SetGauge("stream.generation", float64(s.generation))
 	s.opts.Obs.SetGauge("stream.lag_records", float64(s.sinceLastCheck))

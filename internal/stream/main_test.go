@@ -1,0 +1,12 @@
+package stream
+
+import (
+	"testing"
+
+	"spatialrepart/internal/testutil"
+)
+
+// TestMain fails the suite if any test leaks a goroutine — a recompute
+// worker that outlives its test or a stuck checkpoint writer would otherwise
+// survive silently until an unrelated -race run trips over it.
+func TestMain(m *testing.M) { testutil.VerifyNoLeaks(m) }

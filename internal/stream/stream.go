@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"spatialrepart/internal/breaker"
 	"spatialrepart/internal/core"
 	"spatialrepart/internal/fault"
 	"spatialrepart/internal/grid"
@@ -157,7 +158,7 @@ type Repartitioner struct {
 	generation     int // bumped on every refresh/recompute swap-in
 	sinceLastCheck int
 	stats          Stats
-	breaker        *breaker
+	brk            *breaker.Breaker
 
 	// now is the breaker's clock; a test hook (replaced only before any
 	// concurrency starts).
@@ -211,14 +212,14 @@ func New(bounds grid.Bounds, rows, cols int, attrs []grid.Attribute, opts Option
 		seed = 1
 	}
 	s := &Repartitioner{
-		bounds:  bounds,
-		rows:    rows,
-		cols:    cols,
-		attrs:   a,
-		opts:    opts,
-		counts:  make([]int, rows*cols),
-		sums:    make([]float64, rows*cols*len(attrs)),
-		breaker: newBreaker(threshold, initial, max, seed),
+		bounds: bounds,
+		rows:   rows,
+		cols:   cols,
+		attrs:  a,
+		opts:   opts,
+		counts: make([]int, rows*cols),
+		sums:   make([]float64, rows*cols*len(attrs)),
+		brk:    breaker.New(threshold, initial, max, seed),
 		//spatialvet:ignore clockdirect the production default for the injectable clock
 		now: time.Now,
 	}
@@ -368,12 +369,12 @@ func (s *Repartitioner) currentCtx(ctx context.Context) (View, string, error) {
 	// on, an attempt inside the backoff window (or with the breaker open)
 	// is skipped and the stale view is served flagged Degraded; with no
 	// view there is nothing to serve, so the attempt always proceeds.
-	if s.current != nil && !s.breaker.allow(s.now()) {
+	if s.current != nil && !s.brk.Allow(s.now()) {
 		v := s.degradedLocked()
 		s.mu.Unlock()
 		return v, "degraded", nil
 	}
-	probing := s.breaker.state == BreakerHalfOpen
+	probing := s.brk.State() == BreakerHalfOpen
 	g := s.snapshotGrid()
 	cur := s.current
 	snapshotted := s.sinceLastCheck
@@ -392,9 +393,9 @@ func (s *Repartitioner) currentCtx(ctx context.Context) (View, string, error) {
 		s.mu.Lock()
 		s.stats.RecomputeFailures++
 		s.stats.LastRecomputeErr = err
-		opensBefore := s.breaker.opens
-		s.breaker.failure(s.now())
-		if s.breaker.opens != opensBefore {
+		opensBefore := s.brk.Opens()
+		s.brk.Failure(s.now())
+		if s.brk.Opens() != opensBefore {
 			s.opts.Obs.Count("stream.breaker_opens", 1)
 		}
 		s.breakerObsLocked()
@@ -489,7 +490,7 @@ func (s *Repartitioner) install(rp *core.Repartitioned, snapshotted int, recompu
 	s.current = rp
 	s.generation++
 	s.sinceLastCheck -= snapshotted
-	s.breaker.success()
+	s.brk.Success()
 	s.breakerObsLocked()
 	if recompute {
 		s.stats.Recomputes++
@@ -521,9 +522,9 @@ func (s *Repartitioner) degradedLocked() View {
 
 // breakerObsLocked publishes the breaker gauges. Caller holds s.mu.
 func (s *Repartitioner) breakerObsLocked() {
-	s.opts.Obs.SetGauge("stream.breaker_state", float64(s.breaker.state))
-	s.opts.Obs.SetGauge("stream.consecutive_failures", float64(s.breaker.consecutive))
-	s.opts.Obs.SetGauge("stream.retry_backoff_ns", float64(s.breaker.backoff.Nanoseconds()))
+	s.opts.Obs.SetGauge("stream.breaker_state", float64(s.brk.State()))
+	s.opts.Obs.SetGauge("stream.consecutive_failures", float64(s.brk.Consecutive()))
+	s.opts.Obs.SetGauge("stream.retry_backoff_ns", float64(s.brk.Backoff().Nanoseconds()))
 }
 
 // compatiblePartition reports whether the old partition's null structure
@@ -547,9 +548,9 @@ func (s *Repartitioner) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.stats
-	st.Breaker = s.breaker.state
-	st.BreakerOpens = s.breaker.opens
-	st.ConsecutiveFailures = s.breaker.consecutive
+	st.Breaker = s.brk.State()
+	st.BreakerOpens = s.brk.Opens()
+	st.ConsecutiveFailures = s.brk.Consecutive()
 	st.StaleRecords = s.sinceLastCheck
 	st.HasView = s.current != nil
 	st.Generation = s.generation
@@ -628,9 +629,9 @@ func (s *Repartitioner) Report() Report {
 		Refreshes:           s.stats.Refreshes,
 		RecomputeFailures:   s.stats.RecomputeFailures,
 		DegradedServes:      s.stats.DegradedServes,
-		BreakerState:        s.breaker.state.String(),
-		BreakerOpens:        s.breaker.opens,
-		ConsecutiveFailures: s.breaker.consecutive,
+		BreakerState:        s.brk.State().String(),
+		BreakerOpens:        s.brk.Opens(),
+		ConsecutiveFailures: s.brk.Consecutive(),
 		StaleRecords:        s.sinceLastCheck,
 		Checkpoints:         s.stats.Checkpoints,
 	}
