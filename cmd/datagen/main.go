@@ -54,16 +54,19 @@ func run(name string, rows, cols int, seed int64, out string) error {
 	if d == nil {
 		return fmt.Errorf("unknown dataset %q (use -list)", name)
 	}
-	w := os.Stdout
 	if out != "" {
 		f, err := os.Create(out)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		w = f
-	}
-	if err := d.Grid.WriteCSV(w); err != nil {
+		werr := d.Grid.WriteCSV(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+	} else if err := d.Grid.WriteCSV(os.Stdout); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "%s: %s (target attribute %d, bounds %+v)\n", d.Name, d.Grid, d.TargetAttr, d.Bounds)

@@ -118,8 +118,11 @@ func writeCSV(name string, write func(w *os.File) error) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return write(f)
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func run(exp string, cfg experiments.Config) error {

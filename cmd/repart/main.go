@@ -22,7 +22,17 @@
 //	repart -stream-records points.csv -stream-attrs "count:sum:int,price:avg" \
 //	       -stream-rows 32 -stream-cols 32 -bounds 40,41,-74,-73 \
 //	       -threshold 0.05 [-checkpoint state.ckpt] [-checkpoint-every 10000] \
+//	       [-wal waldir] [-wal-sync always|every=N|interval=DUR] \
+//	       [-wal-segment-bytes n] \
 //	       [-out reduced.csv] [-report stream.json] [...]
+//
+// With -wal, every accepted record is appended to a segmented write-ahead
+// log before it is applied, so a crash between checkpoints loses nothing:
+// restart restores the checkpoint (if any) and replays the WAL suffix,
+// exactly once by sequence. Each checkpoint truncates the log prefix it
+// covers. Shard workers must use distinct WAL directories — the directory
+// is stamped with the grid geometry and shard spec and cross-wiring fails
+// fast at open.
 //
 // Serve mode (-serve, streaming only) keeps the process alive after ingest,
 // exposing the current view over a load-shedding HTTP front end (/healthz,
@@ -47,6 +57,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"os"
 	"strconv"
@@ -80,6 +91,9 @@ func main() {
 	streamCols := flag.Int("stream-cols", 32, "streaming mode: grid columns")
 	checkpoint := flag.String("checkpoint", "", "streaming mode: state file — restored at start if present, written atomically at exit")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "streaming mode: additionally checkpoint every n ingested records (0 = final only)")
+	walDir := flag.String("wal", "", "streaming mode: write-ahead-log directory — every accepted record is logged before it is applied, and replayed on restart (zero acked-record loss)")
+	walSync := flag.String("wal-sync", "always", "WAL sync policy: always | every=N | interval=DURATION (durability lags by at most N-1 records or DURATION)")
+	walSegmentBytes := flag.Int64("wal-segment-bytes", 0, "WAL segment rotation size in bytes (0 = default 4 MiB)")
 	serveAddr := flag.String("serve", "", "streaming mode: after ingest, serve the current view over HTTP on this address until SIGTERM/SIGINT")
 	drainTimeout := flag.Duration("drain-timeout", defaultDrainTimeout, "serve mode: graceful drain deadline on shutdown")
 	shardSpec := flag.String("shard", "", "streaming mode: serve row band i of an n-shard cluster as \"i/n\" (geometry from -stream-rows/-stream-cols/-bounds)")
@@ -131,6 +145,7 @@ func main() {
 			rows: *streamRows, cols: *streamCols, bbox: *bbox,
 			threshold: *threshold, schedule: *schedule, workers: *workers,
 			checkpoint: *checkpoint, checkpointEvery: *checkpointEvery, shard: *shardSpec,
+			walDir: *walDir, walSync: *walSync, walSegmentBytes: *walSegmentBytes,
 			out: *out, groupsOut: *groupsOut, adjOut: *adjOut, geoOut: *geoOut,
 			partOut: *partOut, reportOut: *reportOut,
 			stats: *stats, render: *doRender, obsv: obsv,
@@ -140,6 +155,10 @@ func main() {
 		err = fmt.Errorf("-shard requires -stream-records (a shard worker is a streaming ingest over its row band)")
 	} else if *checkpoint != "" || *checkpointEvery != 0 {
 		err = fmt.Errorf("-checkpoint/-checkpoint-every require -stream-records")
+	} else if *walDir != "" {
+		err = fmt.Errorf("-wal requires -stream-records (the write-ahead log makes streaming ingest durable)")
+	} else if *walSync != "always" || *walSegmentBytes != 0 {
+		err = fmt.Errorf("-wal-sync/-wal-segment-bytes require -wal")
 	} else if *serveAddr != "" {
 		err = fmt.Errorf("-serve requires -stream-records (the served view comes from streaming ingest)")
 	} else {
@@ -224,15 +243,15 @@ func run(cfg runConfig) error {
 		if err != nil {
 			return err
 		}
-		rf, err := os.Create(cfg.reportOut)
-		if err != nil {
+		if err := createFile(cfg.reportOut, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(report); err != nil {
+				return fmt.Errorf("writing run report: %w", err)
+			}
+			return nil
+		}); err != nil {
 			return err
-		}
-		defer rf.Close()
-		enc := json.NewEncoder(rf)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(report); err != nil {
-			return fmt.Errorf("writing run report: %w", err)
 		}
 	} else {
 		rp, err = spatialrepart.Repartition(g, opts)
@@ -247,13 +266,13 @@ func run(cfg runConfig) error {
 	}
 
 	if out != "" {
-		of, err := os.Create(out)
-		if err != nil {
+		if err := createFile(out, func(w io.Writer) error {
+			if err := rp.ReconstructGrid().WriteCSV(w); err != nil {
+				return fmt.Errorf("writing reduced grid: %w", err)
+			}
+			return nil
+		}); err != nil {
 			return err
-		}
-		defer of.Close()
-		if err := rp.ReconstructGrid().WriteCSV(of); err != nil {
-			return fmt.Errorf("writing reduced grid: %w", err)
 		}
 	}
 	if groupsOut != "" {
@@ -271,23 +290,23 @@ func run(cfg runConfig) error {
 		if err != nil {
 			return err
 		}
-		gf, err := os.Create(cfg.geoOut)
-		if err != nil {
+		if err := createFile(cfg.geoOut, func(w io.Writer) error {
+			if err := rp.WriteGeoJSON(w, b); err != nil {
+				return fmt.Errorf("writing GeoJSON: %w", err)
+			}
+			return nil
+		}); err != nil {
 			return err
-		}
-		defer gf.Close()
-		if err := rp.WriteGeoJSON(gf, b); err != nil {
-			return fmt.Errorf("writing GeoJSON: %w", err)
 		}
 	}
 	if cfg.partOut != "" {
-		pf, err := os.Create(cfg.partOut)
-		if err != nil {
+		if err := createFile(cfg.partOut, func(w io.Writer) error {
+			if err := rp.WriteJSON(w); err != nil {
+				return fmt.Errorf("writing partition JSON: %w", err)
+			}
+			return nil
+		}); err != nil {
 			return err
-		}
-		defer pf.Close()
-		if err := rp.WriteJSON(pf); err != nil {
-			return fmt.Errorf("writing partition JSON: %w", err)
 		}
 	}
 	if cfg.render {
@@ -313,49 +332,59 @@ func parseBounds(s string) (spatialrepart.Bounds, error) {
 	return spatialrepart.Bounds{MinLat: vals[0], MaxLat: vals[1], MinLon: vals[2], MaxLon: vals[3]}, nil
 }
 
-func writeGroups(path string, rp *spatialrepart.Repartitioned) error {
+// createFile creates path, streams body into it, and propagates the
+// Close error a deferred Close would drop: a written file's write-back
+// failure (ENOSPC, EIO) often surfaces only at Close, and an output
+// reported as written must actually have reached the filesystem.
+func createFile(path string, body func(io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	w := csv.NewWriter(f)
-	if err := w.Write([]string{"group", "row_begin", "row_end", "col_begin", "col_end", "size", "null"}); err != nil {
-		return err
+	err = body(f)
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("closing %s: %w", path, cerr)
 	}
-	for gi, cg := range rp.Partition.Groups {
-		rec := []string{
-			strconv.Itoa(gi),
-			strconv.Itoa(cg.RBeg), strconv.Itoa(cg.REnd),
-			strconv.Itoa(cg.CBeg), strconv.Itoa(cg.CEnd),
-			strconv.Itoa(cg.Size()),
-			strconv.FormatBool(cg.Null),
-		}
-		if err := w.Write(rec); err != nil {
-			return err
-		}
-	}
-	w.Flush()
-	return w.Error()
+	return err
 }
 
-func writeAdjacency(path string, rp *spatialrepart.Repartitioned) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	w := csv.NewWriter(f)
-	if err := w.Write([]string{"group", "neighbor"}); err != nil {
-		return err
-	}
-	for gi, nbrs := range rp.Partition.AdjacencyList() {
-		for _, nb := range nbrs {
-			if err := w.Write([]string{strconv.Itoa(gi), strconv.Itoa(nb)}); err != nil {
+func writeGroups(path string, rp *spatialrepart.Repartitioned) error {
+	return createFile(path, func(out io.Writer) error {
+		w := csv.NewWriter(out)
+		if err := w.Write([]string{"group", "row_begin", "row_end", "col_begin", "col_end", "size", "null"}); err != nil {
+			return err
+		}
+		for gi, cg := range rp.Partition.Groups {
+			rec := []string{
+				strconv.Itoa(gi),
+				strconv.Itoa(cg.RBeg), strconv.Itoa(cg.REnd),
+				strconv.Itoa(cg.CBeg), strconv.Itoa(cg.CEnd),
+				strconv.Itoa(cg.Size()),
+				strconv.FormatBool(cg.Null),
+			}
+			if err := w.Write(rec); err != nil {
 				return err
 			}
 		}
-	}
-	w.Flush()
-	return w.Error()
+		w.Flush()
+		return w.Error()
+	})
+}
+
+func writeAdjacency(path string, rp *spatialrepart.Repartitioned) error {
+	return createFile(path, func(out io.Writer) error {
+		w := csv.NewWriter(out)
+		if err := w.Write([]string{"group", "neighbor"}); err != nil {
+			return err
+		}
+		for gi, nbrs := range rp.Partition.AdjacencyList() {
+			for _, nb := range nbrs {
+				if err := w.Write([]string{strconv.Itoa(gi), strconv.Itoa(nb)}); err != nil {
+					return err
+				}
+			}
+		}
+		w.Flush()
+		return w.Error()
+	})
 }

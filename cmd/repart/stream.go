@@ -6,6 +6,7 @@ import (
 	"log/slog"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -14,6 +15,7 @@ import (
 	"spatialrepart/internal/grid"
 	"spatialrepart/internal/render"
 	"spatialrepart/internal/stream"
+	"spatialrepart/internal/wal"
 )
 
 // streamConfig carries the parsed flags of the streaming ingest mode
@@ -30,6 +32,15 @@ type streamConfig struct {
 	checkpoint      string // checkpoint file: restored at start if present, written at exit
 	checkpointEvery int    // additionally checkpoint every n accepted records (0 = final only)
 	shard           string // "i/n": serve row band i of an n-shard cluster (see -cluster)
+
+	// walDir, when non-empty, makes ingest durable: every accepted record is
+	// appended to a segmented write-ahead log in this directory before it is
+	// applied, and replayed on restart (after the checkpoint restore, when
+	// one exists). walSync is "always", "every=N", or "interval=DUR";
+	// walSegmentBytes sets the rotation size (0 = default).
+	walDir          string
+	walSync         string
+	walSegmentBytes int64
 
 	out, groupsOut, adjOut, geoOut, partOut, reportOut string
 	stats, render                                      bool
@@ -80,9 +91,49 @@ func parseStreamAttrs(spec string) ([]grid.Attribute, error) {
 	return attrs, nil
 }
 
+// parseWALSync parses the -wal-sync policy into wal.Options fields.
+func parseWALSync(policy string, o *wal.Options) error {
+	switch {
+	case policy == "" || policy == "always":
+		o.SyncEvery = 1
+	case strings.HasPrefix(policy, "every="):
+		n, err := strconv.Atoi(strings.TrimPrefix(policy, "every="))
+		if err != nil || n < 1 {
+			return fmt.Errorf("-wal-sync %q: want every=N with N >= 1", policy)
+		}
+		o.SyncEvery = n
+	case strings.HasPrefix(policy, "interval="):
+		d, err := time.ParseDuration(strings.TrimPrefix(policy, "interval="))
+		if err != nil || d <= 0 {
+			return fmt.Errorf("-wal-sync %q: want interval=DURATION (e.g. interval=50ms)", policy)
+		}
+		// Interval-driven fsync with a large batch cap: the interval is the
+		// durability bound, the cap merely stops unbounded buffering.
+		o.SyncEvery = 1 << 20
+		o.SyncInterval = d
+	default:
+		return fmt.Errorf("-wal-sync %q: want always, every=N, or interval=DURATION", policy)
+	}
+	return nil
+}
+
+// walStamp derives the directory-identity stamp: the grid geometry plus the
+// shard spec. Two shard workers pointed at one WAL directory — or one worker
+// whose geometry silently changed — fail fast at Open instead of replaying
+// another band's records into the wrong grid.
+func walStamp(cfg streamConfig) string {
+	shard := cfg.shard
+	if shard == "" {
+		shard = "-"
+	}
+	return fmt.Sprintf("rows=%d cols=%d bounds=%s attrs=%s shard=%s",
+		cfg.rows, cfg.cols, cfg.bbox, cfg.attrsSpec, shard)
+}
+
 // runStream ingests raw records into a streaming repartitioner — restoring a
-// prior checkpoint first when one exists — and writes the served partition
-// through the same output writers as the batch mode.
+// prior checkpoint first when one exists, then replaying the WAL suffix —
+// and writes the served partition through the same output writers as the
+// batch mode.
 func runStream(cfg streamConfig) error {
 	attrs, err := parseStreamAttrs(cfg.attrsSpec)
 	if err != nil {
@@ -92,12 +143,32 @@ func runStream(cfg streamConfig) error {
 	if err != nil {
 		return err
 	}
+	if cfg.walDir == "" && (cfg.walSync != "" && cfg.walSync != "always" || cfg.walSegmentBytes != 0) {
+		return fmt.Errorf("-wal-sync/-wal-segment-bytes require -wal")
+	}
 	opts := stream.Options{
 		Threshold: cfg.threshold,
 		Workers:   cfg.workers,
 	}
 	if cfg.obsv != nil {
 		opts.Obs = cfg.obsv
+	}
+	var wlog *wal.Log
+	if cfg.walDir != "" {
+		wopts := wal.Options{
+			SegmentBytes: cfg.walSegmentBytes,
+			Stamp:        walStamp(cfg),
+			Obs:          cfg.obsv,
+		}
+		if err := parseWALSync(cfg.walSync, &wopts); err != nil {
+			return err
+		}
+		wlog, err = wal.Open(cfg.walDir, wopts)
+		if err != nil {
+			return fmt.Errorf("opening wal %s: %w", cfg.walDir, err)
+		}
+		defer wlog.Close()
+		opts.WAL = wlog
 	}
 	switch cfg.schedule {
 	case "exact":
@@ -139,6 +210,11 @@ func runStream(cfg streamConfig) error {
 		return err
 	}
 
+	logger := cfg.logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+
 	restored := false
 	if cfg.checkpoint != "" {
 		f, err := os.Open(cfg.checkpoint)
@@ -156,6 +232,19 @@ func runStream(cfg streamConfig) error {
 			// First run: nothing to restore.
 		default:
 			return err
+		}
+	}
+	replayed := 0
+	if wlog != nil {
+		// Replay the suffix the checkpoint does not cover (everything, on a
+		// run with no checkpoint): records acked by a previous process that
+		// died before checkpointing come back, exactly once.
+		replayed, err = s.ReplayWAL()
+		if err != nil {
+			return err
+		}
+		if replayed > 0 {
+			logger.Info("wal replayed", "dir", cfg.walDir, "records", replayed)
 		}
 	}
 
@@ -176,7 +265,15 @@ func runStream(cfg streamConfig) error {
 		sinceCheckpoint++
 		if cfg.checkpoint != "" && cfg.checkpointEvery > 0 && sinceCheckpoint >= cfg.checkpointEvery {
 			sinceCheckpoint = 0
-			return writeCheckpoint(s, cfg.checkpoint)
+			// A failed periodic checkpoint must not abort a healthy ingest:
+			// the failure is recorded (Stats.CheckpointFailures,
+			// LastCheckpointErr — surfaced by /stats) and logged, and the
+			// next interval retries. The final checkpoint below still fails
+			// the run hard.
+			if cerr := checkpointAndTruncate(s, wlog, cfg.checkpoint); cerr != nil {
+				logger.Warn("periodic checkpoint failed", "path", cfg.checkpoint, "err", cerr)
+			}
+			return nil
 		}
 		return nil
 	}); err != nil {
@@ -188,25 +285,25 @@ func runStream(cfg streamConfig) error {
 		return err
 	}
 	if cfg.checkpoint != "" {
-		if err := writeCheckpoint(s, cfg.checkpoint); err != nil {
+		if err := checkpointAndTruncate(s, wlog, cfg.checkpoint); err != nil {
 			return err
 		}
 	}
 	if cfg.stats {
 		st := s.Stats()
-		fmt.Fprintf(os.Stderr, "stream: accepted=%d dropped=%d recomputes=%d refreshes=%d failures=%d restored=%t\n",
-			st.Accepted, st.Dropped, st.Recomputes, st.Refreshes, st.RecomputeFailures, restored)
+		fmt.Fprintf(os.Stderr, "stream: accepted=%d dropped=%d recomputes=%d refreshes=%d failures=%d restored=%t wal-replayed=%d\n",
+			st.Accepted, st.Dropped, st.Recomputes, st.Refreshes, st.RecomputeFailures, restored, replayed)
 		fmt.Fprintf(os.Stderr, "cell-groups: %d (%d non-null), IFL=%.4f, generation=%d, degraded=%t\n",
 			v.NumGroups(), v.ValidGroups(), v.IFL, v.Generation, v.Degraded)
 	}
 	if cfg.reportOut != "" {
-		rf, err := os.Create(cfg.reportOut)
-		if err != nil {
+		if err := createFile(cfg.reportOut, func(w io.Writer) error {
+			if err := s.WriteReport(w); err != nil {
+				return fmt.Errorf("writing stream report: %w", err)
+			}
+			return nil
+		}); err != nil {
 			return err
-		}
-		defer rf.Close()
-		if err := s.WriteReport(rf); err != nil {
-			return fmt.Errorf("writing stream report: %w", err)
 		}
 	}
 	if err := writeStreamOutputs(cfg, v.Repartitioned, bounds); err != nil {
@@ -214,10 +311,6 @@ func runStream(cfg streamConfig) error {
 	}
 	if cfg.serveAddr == "" {
 		return nil
-	}
-	logger := cfg.logger
-	if logger == nil {
-		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
 	stop := cfg.serveStop
 	if stop == nil {
@@ -230,13 +323,13 @@ func runStream(cfg streamConfig) error {
 // output writers.
 func writeStreamOutputs(cfg streamConfig, rp *spatialrepart.Repartitioned, bounds spatialrepart.Bounds) error {
 	if cfg.out != "" {
-		of, err := os.Create(cfg.out)
-		if err != nil {
+		if err := createFile(cfg.out, func(w io.Writer) error {
+			if err := rp.ReconstructGrid().WriteCSV(w); err != nil {
+				return fmt.Errorf("writing reduced grid: %w", err)
+			}
+			return nil
+		}); err != nil {
 			return err
-		}
-		defer of.Close()
-		if err := rp.ReconstructGrid().WriteCSV(of); err != nil {
-			return fmt.Errorf("writing reduced grid: %w", err)
 		}
 	}
 	if cfg.groupsOut != "" {
@@ -250,23 +343,23 @@ func writeStreamOutputs(cfg streamConfig, rp *spatialrepart.Repartitioned, bound
 		}
 	}
 	if cfg.geoOut != "" {
-		gf, err := os.Create(cfg.geoOut)
-		if err != nil {
+		if err := createFile(cfg.geoOut, func(w io.Writer) error {
+			if err := rp.WriteGeoJSON(w, bounds); err != nil {
+				return fmt.Errorf("writing GeoJSON: %w", err)
+			}
+			return nil
+		}); err != nil {
 			return err
-		}
-		defer gf.Close()
-		if err := rp.WriteGeoJSON(gf, bounds); err != nil {
-			return fmt.Errorf("writing GeoJSON: %w", err)
 		}
 	}
 	if cfg.partOut != "" {
-		pf, err := os.Create(cfg.partOut)
-		if err != nil {
+		if err := createFile(cfg.partOut, func(w io.Writer) error {
+			if err := rp.WriteJSON(w); err != nil {
+				return fmt.Errorf("writing partition JSON: %w", err)
+			}
+			return nil
+		}); err != nil {
 			return err
-		}
-		defer pf.Close()
-		if err := rp.WriteJSON(pf); err != nil {
-			return fmt.Errorf("writing partition JSON: %w", err)
 		}
 	}
 	if cfg.render {
@@ -275,12 +368,30 @@ func writeStreamOutputs(cfg streamConfig, rp *spatialrepart.Repartitioned, bound
 	return nil
 }
 
-// writeCheckpoint writes the stream state to path crash-consistently via
-// atomicWrite: after a crash at ANY instant the file holds either the
-// previous checkpoint or the new one, never a torn mix.
-func writeCheckpoint(s *stream.Repartitioner, path string) error {
-	if err := atomicWrite(path, s.Checkpoint); err != nil {
+// checkpointAndTruncate writes the stream state to path crash-consistently
+// via atomicWrite — after a crash at ANY instant the file holds either the
+// previous checkpoint or the new one, never a torn mix — records the outcome
+// in the stream's durability stats, and, once the new checkpoint is durable
+// (data fsynced, rename fsynced), truncates the WAL through exactly the
+// sequence the checkpoint embeds. The order is load-bearing: truncating
+// before the rename lands could leave a crash window with neither the
+// checkpoint nor the WAL holding the records.
+func checkpointAndTruncate(s *stream.Repartitioner, wlog *wal.Log, path string) error {
+	var seq uint64
+	err := atomicWrite(path, func(w io.Writer) error {
+		var cerr error
+		seq, cerr = s.CheckpointSeq(w)
+		return cerr
+	})
+	s.RecordCheckpointResult(err)
+	if err != nil {
 		return fmt.Errorf("writing checkpoint: %w", err)
+	}
+	if wlog != nil {
+		// A reclamation failure loses nothing — the WAL only ever holds MORE
+		// than a restart needs, and replay stays exactly-once by sequence —
+		// so it must not fail the run; the next checkpoint retries it.
+		wlog.TruncateThrough(seq) //spatialvet:ignore errdrop deliberate: truncation is best-effort reclamation, retried at the next checkpoint
 	}
 	return nil
 }

@@ -6,8 +6,8 @@
 // It loads and type-checks the module using only the standard library
 // (go/parser, go/types, go/importer), builds the module-wide call graph,
 // runs the repo-specific analyzers — the per-package passes (maporder,
-// lockcall, spanend, floateq, globalrand, errdrop, panicsite,
-// clockdirect, goroleak, atomicmix) and the interprocedural ones
+// lockcall, spanend, floateq, globalrand, errdrop, syncclose,
+// panicsite, clockdirect, goroleak, atomicmix) and the interprocedural ones
 // (lockorder, ctxflow) — and prints one "file:line:col: analyzer:
 // message" line per finding. -json emits the findings as a JSON array,
 // -sarif as a SARIF 2.1.0 log for code-scanning uploads; both are

@@ -59,8 +59,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer f.Close()
 	if err := rp.WriteGeoJSON(f, ds.Bounds); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %d cell-group polygons to %s\n", rp.NumGroups(), path)

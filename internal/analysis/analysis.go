@@ -98,11 +98,13 @@ func DefaultConfig() Config {
 			"internal/cluster",
 			"internal/server",
 			"internal/stream",
+			// wal injects Options.Now for the interval sync policy.
+			"internal/wal",
 		},
 	}
 }
 
-// Analyzers returns the full suite in a stable order: the seven
+// Analyzers returns the full suite in a stable order: the eight
 // per-function analyzers first, then the five interprocedural/concurrency
 // analyzers built for the multi-shard serving path.
 func Analyzers() []*Analyzer {
@@ -113,6 +115,7 @@ func Analyzers() []*Analyzer {
 		analyzerFloatEq,
 		analyzerGlobalRand,
 		analyzerErrDrop,
+		analyzerSyncClose,
 		analyzerPanicSite,
 		analyzerLockOrder,
 		analyzerCtxFlow,

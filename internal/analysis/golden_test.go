@@ -108,6 +108,7 @@ func TestMapOrderGolden(t *testing.T)   { runGolden(t, "maporder", Config{}) }
 func TestSpanEndGolden(t *testing.T)    { runGolden(t, "spanend", Config{}) }
 func TestGlobalRandGolden(t *testing.T) { runGolden(t, "globalrand", Config{}) }
 func TestErrDropGolden(t *testing.T)    { runGolden(t, "errdrop", Config{}) }
+func TestSyncCloseGolden(t *testing.T)  { runGolden(t, "syncclose", Config{}) }
 func TestPanicSiteGolden(t *testing.T)  { runGolden(t, "panicsite", Config{}) }
 
 func TestLockCallGolden(t *testing.T) {

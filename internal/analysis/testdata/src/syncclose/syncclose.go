@@ -1,0 +1,114 @@
+package syncclose
+
+import (
+	"io"
+	"os"
+)
+
+// Deferred Close on a created (write-mode) file drops the write-back error.
+func deferCreate(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "deferred f.Close on a file opened for writing"
+	_, err = f.WriteString("x")
+	return err
+}
+
+// os.Open is read-only: deferring Close there loses nothing.
+func deferOpenRead(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// OpenFile with write flags is a write path; Sync and Close both flagged.
+func deferAppend(path string) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "deferred f.Close on a file opened for writing"
+	defer f.Sync()  // want "deferred f.Sync on a file opened for writing"
+	_, err = f.WriteString("x")
+	return err
+}
+
+// OpenFile with O_RDONLY (and no write flag) is exempt.
+func deferOpenFileRead(path string) error {
+	f, err := os.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}
+
+// Temp files are created for writing.
+func deferTemp() error {
+	f, err := os.CreateTemp("", "x")
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "deferred f.Close on a file opened for writing"
+	_, err = f.WriteString("x")
+	return err
+}
+
+// var-declared handles are tracked too.
+func deferVarDecl(path string) error {
+	var f, err = os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "deferred f.Close on a file opened for writing"
+	return nil
+}
+
+// The fix: close explicitly on both paths and propagate the error.
+func explicitClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, werr := f.WriteString("x"); werr != nil {
+		f.Close() // non-deferred: errdrop's territory, not syncclose's
+		return werr
+	}
+	return f.Close()
+}
+
+// The closure-with-named-return idiom propagates the error and is not
+// flagged: the defer calls a func literal, not Close directly.
+func closurePropagates(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	_, err = f.WriteString("x")
+	return err
+}
+
+// A closure capturing the handle still resolves to the same object:
+// deferring inside it is flagged.
+func closureCaptureDefer(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	work := func() error {
+		defer f.Close() // want "deferred f.Close on a file opened for writing"
+		_, err := f.WriteString("x")
+		return err
+	}
+	return work()
+}

@@ -14,9 +14,11 @@ import (
 	"time"
 
 	"spatialrepart/internal/fault"
+	"spatialrepart/internal/grid"
 	"spatialrepart/internal/obs"
 	"spatialrepart/internal/server"
 	"spatialrepart/internal/stream"
+	"spatialrepart/internal/wal"
 )
 
 // fakeClock is the chaos suite's injected time source: Now is manual, and
@@ -83,8 +85,11 @@ func (ks *killableShard) Close()                { ks.ts.Close() }
 
 // TestChaosKillDegradeRejoinReconverge is the full kill/rejoin arc:
 //
-//  1. healthy two-shard cluster, baseline stitched view captured
-//  2. shard 1 checkpointed, then killed under load
+//  1. healthy two-shard cluster — shard 1 WAL-backed — with a checkpoint
+//     taken MID-INGEST, so the records acked after it exist only in the WAL;
+//     baseline stitched view captured after all ingest
+//  2. shard 1 killed under load (SIGKILL semantics: the old process image is
+//     abandoned, nothing flushed)
 //  3. the cluster keeps serving 200 + Warning with shard 1 explicitly
 //     missing; the breaker opens after exactly 1+RetryMax transport failures
 //     and later fetches are refused locally (no new requests reach the dead
@@ -92,7 +97,8 @@ func (ks *killableShard) Close()                { ks.ts.Close() }
 //  4. exact counter reconciliation: requests that reached the dead shard ==
 //     breaker failures == the cluster.backend.failures counter == /stats
 //     fetch_failures; the refusals match round-for-round
-//  5. shard 1 is restored from its checkpoint behind the same URL, the
+//  5. shard 1 is rebuilt from checkpoint + WAL replay behind the same URL —
+//     ZERO acked-record loss, not just "back to the checkpoint" — the
 //     breaker's backoff window passes (fake clock), and the stitched view
 //     reconverges BYTE-IDENTICALLY to the baseline cell-groups.
 func TestChaosKillDegradeRejoinReconverge(t *testing.T) {
@@ -103,11 +109,21 @@ func TestChaosKillDegradeRejoinReconverge(t *testing.T) {
 	}
 	recs := testRecords(rng, testBounds(), 700)
 
+	walDir := t.TempDir()
+	wlog, err := wal.Open(walDir, wal.Options{SegmentBytes: 4096, Stamp: "chaos shard=1/2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
 	streams := make([]*stream.Repartitioner, 2)
 	shards := make([]*killableShard, 2)
 	backends := make([]string, 2)
 	for i := range streams {
-		streams[i], err = NewShard(p, i, testAttrs(), stream.Options{Threshold: 0.5, MinRecordsBetweenChecks: 1})
+		opts := stream.Options{Threshold: 0.5, MinRecordsBetweenChecks: 1}
+		if i == 1 {
+			opts.WAL = wlog
+		}
+		streams[i], err = NewShard(p, i, testAttrs(), opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -119,12 +135,43 @@ func TestChaosKillDegradeRejoinReconverge(t *testing.T) {
 		defer shards[i].Close()
 		backends[i] = shards[i].ts.URL
 	}
+	// Route the feed; shard 1's records are fed in two phases around a
+	// checkpoint so a real WAL suffix exists when the kill comes.
+	var shard1Recs []grid.Record
 	for _, rec := range recs {
 		shard, local, ok := p.Route(rec)
 		if !ok {
 			continue
 		}
+		if shard == 1 {
+			shard1Recs = append(shard1Recs, local)
+			continue
+		}
 		if err := streams[shard].Add(local); err != nil {
+			t.Fatal(err)
+		}
+	}
+	half := len(shard1Recs) / 2
+	for _, rec := range shard1Recs[:half] {
+		if err := streams[1].Add(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var ckpt bytes.Buffer
+	coveredSeq, err := streams[1].CheckpointSeq(&ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coveredSeq != uint64(half) {
+		t.Fatalf("checkpoint covers WAL seq %d, want %d", coveredSeq, half)
+	}
+	// Checkpoint-coordinated truncation: the pre-checkpoint segments go; the
+	// post-checkpoint records below exist ONLY in the WAL suffix.
+	if err := wlog.TruncateThrough(coveredSeq); err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range shard1Recs[half:] {
+		if err := streams[1].Add(rec); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -166,11 +213,10 @@ func TestChaosKillDegradeRejoinReconverge(t *testing.T) {
 	}
 	baselineGroups, _ := json.Marshal(baseline.CellGroups)
 
-	// ---- 2. checkpoint shard 1, then kill it ----
-	var ckpt bytes.Buffer
-	if err := streams[1].Checkpoint(&ckpt); err != nil {
-		t.Fatal(err)
-	}
+	// ---- 2. kill shard 1 ----
+	// SIGKILL semantics: the live Log and Repartitioner are simply abandoned
+	// — no Close, no final sync. Everything acked is already durable (the
+	// default sync policy fsyncs per append).
 	preKillRequests := shards[1].requests.Load()
 	client.CloseIdleConnections()
 	shards[1].kill()
@@ -252,13 +298,33 @@ func TestChaosKillDegradeRejoinReconverge(t *testing.T) {
 		t.Fatalf("/readyz with one dead shard: status %d body %+v", resp.StatusCode, rb)
 	}
 
-	// ---- 5. checkpoint-restore rejoin and byte-identical reconvergence ----
-	restored, err := NewShard(p, 1, testAttrs(), stream.Options{Threshold: 0.5, MinRecordsBetweenChecks: 1})
+	// ---- 5. checkpoint + WAL-replay rejoin, byte-identical reconvergence ----
+	// The restored process opens the same WAL dir (same stamp), restores the
+	// mid-ingest checkpoint, and replays the suffix: every record acked after
+	// the checkpoint comes back. Without the replay the baseline comparison
+	// below would fail — the second half of shard 1's feed is nowhere else.
+	wlog2, err := wal.Open(walDir, wal.Options{SegmentBytes: 4096, Stamp: "chaos shard=1/2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wlog2.Close()
+	restored, err := NewShard(p, 1, testAttrs(), stream.Options{Threshold: 0.5, MinRecordsBetweenChecks: 1, WAL: wlog2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := restored.Restore(bytes.NewReader(ckpt.Bytes())); err != nil {
 		t.Fatal(err)
+	}
+	replayed, err := restored.ReplayWAL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(shard1Recs) - half; replayed != want {
+		t.Fatalf("replayed %d records, want the %d acked after the checkpoint", replayed, want)
+	}
+	if st := restored.Stats(); st.WALSeq != uint64(len(shard1Recs)) || st.Accepted != len(shard1Recs) {
+		t.Fatalf("zero acked-record loss violated: WALSeq=%d Accepted=%d, want both %d",
+			st.WALSeq, st.Accepted, len(shard1Recs))
 	}
 	srv, err := server.New(server.Config{Source: restored})
 	if err != nil {

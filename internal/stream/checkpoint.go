@@ -28,9 +28,14 @@ import (
 // breaker and the served view are deliberately NOT persisted: both are
 // transient serving state a restarted process re-derives (the first Current
 // after Restore recomputes from the restored aggregates).
+//
+// Version 2 (DESIGN.md §3.21) inserts the WAL sequence the checkpoint covers
+// — walSeq uint64, right after the sinceCheck counter — so a restore can
+// replay exactly the WAL suffix the checkpoint does not already contain.
+// Version-1 checkpoints are still read (walSeq = 0: replay everything).
 var checkpointMagic = [8]byte{'S', 'P', 'R', 'T', 'C', 'K', 'P', 'T'}
 
-const checkpointVersion uint16 = 1
+const checkpointVersion uint16 = 2
 
 // maxCheckpointPayload caps the declared payload length Restore will accept
 // (a corrupt header must not drive allocations).
@@ -52,6 +57,7 @@ type checkpointState struct {
 	ncat       int
 	generation int
 	sinceCheck int
+	walSeq     uint64
 	stats      Stats
 }
 
@@ -61,8 +67,20 @@ type checkpointState struct {
 // and serving continue unstalled. The encoding is byte-deterministic: two
 // checkpoints of identical state are identical files.
 func (s *Repartitioner) Checkpoint(w io.Writer) error {
+	_, err := s.CheckpointSeq(w)
+	return err
+}
+
+// CheckpointSeq is Checkpoint, additionally returning the WAL sequence the
+// written checkpoint covers — the sequence snapshotted atomically with the
+// aggregates. Once the caller has made the checkpoint durable (fsynced and
+// renamed into place), it may hand exactly this value to
+// wal.Log.TruncateThrough: every sequence at or below it is now redundant
+// with the checkpoint. Truncating by any fresher cursor (e.g. a later
+// Stats().WALSeq) would discard records the checkpoint does not contain.
+func (s *Repartitioner) CheckpointSeq(w io.Writer) (uint64, error) {
 	if err := s.opts.Fault.Hit("stream.checkpoint"); err != nil {
-		return fmt.Errorf("stream: checkpoint: %w", err)
+		return 0, fmt.Errorf("stream: checkpoint: %w", err)
 	}
 	sp := s.opts.Obs.StartSpan("stream.checkpoint")
 	defer sp.End()
@@ -78,6 +96,7 @@ func (s *Repartitioner) Checkpoint(w io.Writer) error {
 		ncat:       len(s.catCol),
 		generation: s.generation,
 		sinceCheck: s.sinceLastCheck,
+		walSeq:     s.walSeq,
 		stats:      s.stats,
 	}
 	if len(s.cats) > 0 {
@@ -106,22 +125,22 @@ func (s *Repartitioner) Checkpoint(w io.Writer) error {
 	le.PutUint64(u64[:], uint64(len(payload)))
 	hdr.Write(u64[:])
 	if _, err := w.Write(hdr.Bytes()); err != nil {
-		return fmt.Errorf("stream: checkpoint write: %w", err)
+		return 0, fmt.Errorf("stream: checkpoint write: %w", err)
 	}
 	if _, err := w.Write(payload); err != nil {
-		return fmt.Errorf("stream: checkpoint write: %w", err)
+		return 0, fmt.Errorf("stream: checkpoint write: %w", err)
 	}
 	var crc [4]byte
 	le.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
 	if _, err := w.Write(crc[:]); err != nil {
-		return fmt.Errorf("stream: checkpoint write: %w", err)
+		return 0, fmt.Errorf("stream: checkpoint write: %w", err)
 	}
 
 	s.mu.Lock()
 	s.stats.Checkpoints++
 	s.mu.Unlock()
 	s.opts.Obs.Count("stream.checkpoints", 1)
-	return nil
+	return st.walSeq, nil
 }
 
 // encodePayload serializes the snapshotted state. Categorical vote maps are
@@ -157,6 +176,7 @@ func encodePayload(st checkpointState) []byte {
 	}
 	putI64(int64(st.generation))
 	putI64(int64(st.sinceCheck))
+	putI64(int64(st.walSeq)) // v2: the WAL sequence this checkpoint covers
 	putI64(int64(st.stats.Accepted))
 	putI64(int64(st.stats.Dropped))
 	putI64(int64(st.stats.Recomputes))
@@ -272,8 +292,9 @@ func (s *Repartitioner) Restore(r io.Reader) error {
 		return fmt.Errorf("%w: bad magic %q", ErrCheckpoint, hdr[:8])
 	}
 	le := binary.LittleEndian
-	if v := le.Uint16(hdr[8:10]); v != checkpointVersion {
-		return fmt.Errorf("%w: unsupported version %d (want %d)", ErrCheckpoint, v, checkpointVersion)
+	version := le.Uint16(hdr[8:10])
+	if version != 1 && version != checkpointVersion {
+		return fmt.Errorf("%w: unsupported version %d (want 1..%d)", ErrCheckpoint, version, checkpointVersion)
 	}
 	plen := le.Uint64(hdr[10:18])
 	if plen > maxCheckpointPayload {
@@ -330,6 +351,10 @@ func (s *Repartitioner) Restore(r io.Reader) error {
 
 	generation := int(p.i64())
 	sinceCheck := int(p.i64())
+	var walSeq uint64
+	if version >= 2 {
+		walSeq = uint64(p.i64())
+	}
 	var st Stats
 	st.Accepted = int(p.i64())
 	st.Dropped = int(p.i64())
@@ -398,6 +423,7 @@ func (s *Repartitioner) Restore(r io.Reader) error {
 	s.cats = cats
 	s.generation = generation
 	s.sinceLastCheck = sinceCheck
+	s.walSeq = walSeq
 	s.stats = st
 	s.current = nil
 	s.brk.Success()

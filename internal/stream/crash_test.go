@@ -1,0 +1,338 @@
+package stream
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"spatialrepart/internal/fault"
+	"spatialrepart/internal/grid"
+	"spatialrepart/internal/wal"
+)
+
+// ---------------------------------------------------------------------------
+// Deterministic crash harness (DESIGN.md §3.21). A "run" ingests a fixed
+// record feed through a WAL-backed Repartitioner while a fault plan is armed
+// at ONE named point in the append → fsync → rotate → checkpoint → truncate
+// sequence. When the fault fires — as an error or a panic — the harness
+// simulates a process death: the live Log and Repartitioner are abandoned
+// where they stand (locks, buffers, poison and all), and a fresh process
+// image is built from only what a real restart would have: the WAL directory
+// and the last durable checkpoint. The client driver then resumes sending
+// from the recovered WAL cursor, exactly like a producer that resends
+// whatever was never acked. The final aggregate must be byte-identical to a
+// never-crashed reference, every sequence applied exactly once.
+// ---------------------------------------------------------------------------
+
+func crashAttrs() []grid.Attribute {
+	return []grid.Attribute{
+		{Name: "val", Agg: grid.Average},
+		{Name: "kind", Agg: grid.Average, Categorical: true},
+	}
+}
+
+func crashFeed(n int) []grid.Record {
+	rng := rand.New(rand.NewSource(42))
+	recs := make([]grid.Record, n)
+	for i := range recs {
+		recs[i] = grid.Record{
+			Lat:    rng.Float64() * 10,
+			Lon:    rng.Float64() * 10,
+			Values: []float64{rng.Float64() * 100, float64(rng.Intn(4))},
+		}
+	}
+	return recs
+}
+
+func crashBounds() grid.Bounds {
+	return grid.Bounds{MinLat: 0, MaxLat: 10, MinLon: 0, MaxLon: 10}
+}
+
+// referenceCSV ingests the feed with no WAL and no faults and returns the
+// final aggregate grid bytes — the ground truth every crashed run must match.
+func referenceCSV(t *testing.T, recs []grid.Record) []byte {
+	t.Helper()
+	s, err := New(crashBounds(), 6, 6, crashAttrs(), Options{Threshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := s.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.Grid().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// crashProc is one simulated process lifetime: a WAL handle plus the stream
+// built over it.
+type crashProc struct {
+	w *wal.Log
+	s *Repartitioner
+}
+
+// boot builds a process image from the durable state: open (and validate)
+// the WAL, restore the checkpoint if one exists, replay the WAL suffix.
+func boot(t *testing.T, dir string, ckpt []byte, inj *fault.Injector) crashProc {
+	t.Helper()
+	w, err := wal.Open(dir, wal.Options{SegmentBytes: 512, Fault: inj})
+	if err != nil {
+		t.Fatalf("boot: wal open: %v", err)
+	}
+	s, err := New(crashBounds(), 6, 6, crashAttrs(), Options{Threshold: 0.5, WAL: w})
+	if err != nil {
+		t.Fatalf("boot: stream: %v", err)
+	}
+	if len(ckpt) > 0 {
+		if err := s.Restore(bytes.NewReader(ckpt)); err != nil {
+			t.Fatalf("boot: restore: %v", err)
+		}
+	}
+	if _, err := s.ReplayWAL(); err != nil {
+		t.Fatalf("boot: replay: %v", err)
+	}
+	return crashProc{w: w, s: s}
+}
+
+// attempt runs fn converting a panic (an injected Plan{Panic: true} firing
+// anywhere inside) into an error, the way the harness models a process that
+// died mid-call: the error is the driver's only signal.
+func attempt(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("simulated process death: %v", r)
+		}
+	}()
+	return fn()
+}
+
+// runCrashed drives the full feed through crash-recovery cycles with plan
+// armed at point, checkpointing every ckptEvery acked records, and returns
+// the final grid bytes plus the final Stats. Durability is modeled
+// faithfully: the checkpoint "file" only advances after CheckpointSeq
+// returns success (the atomicWrite contract), and truncation uses exactly
+// the sequence that checkpoint embeds.
+func runCrashed(t *testing.T, recs []grid.Record, point string, plan fault.Plan, ckptEvery int) ([]byte, Stats) {
+	t.Helper()
+	dir := t.TempDir()
+	inj := fault.New(7)
+	inj.Set(point, plan)
+
+	var ckpt []byte // last durable checkpoint image
+	p := boot(t, dir, ckpt, inj)
+	crashes := 0
+	crash := func(why error) {
+		crashes++
+		if crashes > 50 {
+			t.Fatalf("harness did not converge after 50 crashes (last: %v)", why)
+		}
+		// Abandon the old process image wholesale and boot a new one.
+		p = boot(t, dir, ckpt, inj)
+	}
+
+	acked := 0 // records 0..acked-1 are known applied (acked or recovered)
+	sinceCkpt := 0
+	for acked < len(recs) {
+		rec := recs[acked]
+		if err := attempt(func() error { return p.s.Add(rec) }); err != nil {
+			crash(err)
+			// Exactly-once resume: the WAL cursor says how many of the feed's
+			// records are durably ingested — the in-flight record either
+			// survived (it was replayed; skip it) or it did not (resend it).
+			// This sequence comparison is the producer half of the protocol.
+			acked = int(p.s.Stats().WALSeq)
+			sinceCkpt = 0 // conservative: recount toward the next checkpoint
+			continue
+		}
+		acked++
+		sinceCkpt++
+		if sinceCkpt >= ckptEvery {
+			sinceCkpt = 0
+			var buf bytes.Buffer
+			var seq uint64
+			if err := attempt(func() error {
+				var cerr error
+				seq, cerr = p.s.CheckpointSeq(&buf)
+				return cerr
+			}); err != nil {
+				crash(err)
+				acked = int(p.s.Stats().WALSeq)
+				continue
+			}
+			ckpt = buf.Bytes() // the atomicWrite rename: now durable
+			if err := attempt(func() error { return p.w.TruncateThrough(seq) }); err != nil {
+				// A failed truncation loses no data — the WAL only ever has
+				// MORE than needed — but the harness still treats it as a
+				// death to prove replay stays exactly-once with extra
+				// segments on disk.
+				crash(err)
+				acked = int(p.s.Stats().WALSeq)
+				continue
+			}
+		}
+	}
+
+	// One final death AFTER everything was acked: the recovered state, built
+	// purely from checkpoint + WAL, must equal the live state it replaces.
+	crash(fmt.Errorf("final restart"))
+	st := p.s.Stats()
+	var buf bytes.Buffer
+	if err := p.s.Grid().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), st
+}
+
+// TestCrashRecoverySweep is the acceptance matrix: every named injection
+// point in the durability path × {error, panic} × several firing offsets.
+// Whatever fires, wherever it fires, recovery must reproduce the
+// never-crashed aggregate byte for byte with every sequence applied exactly
+// once — no loss, no double-apply.
+func TestCrashRecoverySweep(t *testing.T) {
+	const n = 60
+	recs := crashFeed(n)
+	want := referenceCSV(t, recs)
+
+	points := []string{"wal.append", "wal.append.torn", "wal.sync", "wal.rotate", "wal.truncate", "stream.checkpoint"}
+	for _, point := range points {
+		for _, panicMode := range []bool{false, true} {
+			for _, first := range []int{0, 1, 3} {
+				name := fmt.Sprintf("%s/first=%d", point, first)
+				if panicMode {
+					name += "/panic"
+				}
+				t.Run(name, func(t *testing.T) {
+					got, st := runCrashed(t, recs, point, fault.Plan{First: first, Count: 1, Panic: panicMode}, 17)
+					if !bytes.Equal(got, want) {
+						t.Errorf("recovered aggregate differs from the never-crashed reference\n got: %q\nwant: %q", got, want)
+					}
+					if st.WALSeq != n {
+						t.Errorf("final WALSeq = %d, want %d (every record exactly once)", st.WALSeq, n)
+					}
+					if st.Accepted != n {
+						t.Errorf("final Accepted = %d, want %d", st.Accepted, n)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestCrashRecoveryRepeatedFaults arms a recurring plan (several firings) at
+// the torn-write point — the nastiest one, since it leaves synced garbage on
+// disk every time — and checks convergence.
+func TestCrashRecoveryRepeatedFaults(t *testing.T) {
+	const n = 80
+	recs := crashFeed(n)
+	want := referenceCSV(t, recs)
+	got, st := runCrashed(t, recs, "wal.append.torn", fault.Plan{First: 5, Count: 1, Prob: 0.05}, 13)
+	if !bytes.Equal(got, want) {
+		t.Error("recovered aggregate differs from the never-crashed reference")
+	}
+	if st.WALSeq != n || st.Accepted != n {
+		t.Errorf("WALSeq=%d Accepted=%d, want both %d", st.WALSeq, st.Accepted, n)
+	}
+}
+
+// TestCrashWithoutCheckpoints proves the WAL alone (no checkpoint ever made)
+// fully reconstructs the aggregates.
+func TestCrashWithoutCheckpoints(t *testing.T) {
+	const n = 40
+	recs := crashFeed(n)
+	want := referenceCSV(t, recs)
+	// ckptEvery > n: no checkpoint is ever attempted.
+	got, st := runCrashed(t, recs, "wal.sync", fault.Plan{First: 2, Count: 1}, n+1)
+	if !bytes.Equal(got, want) {
+		t.Error("recovered aggregate differs from the never-crashed reference")
+	}
+	if st.WALSeq != n || st.WALReplayed == 0 {
+		t.Errorf("WALSeq=%d WALReplayed=%d: recovery did not go through replay", st.WALSeq, st.WALReplayed)
+	}
+}
+
+// TestWALExactlyOnceAfterRestore pins the core protocol invariant directly:
+// a checkpoint taken mid-stream, a crash after MORE records were WAL-appended
+// and applied, then restore + replay — the replay must apply exactly the
+// records after the checkpoint's embedded sequence, even though they are
+// also still present in the pre-checkpoint WAL segments when truncation
+// never ran.
+func TestWALExactlyOnceAfterRestore(t *testing.T) {
+	dir := t.TempDir()
+	recs := crashFeed(30)
+	w, err := wal.Open(dir, wal.Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(crashBounds(), 6, 6, crashAttrs(), Options{Threshold: 0.5, WAL: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs[:20] {
+		if err := s.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var ckpt bytes.Buffer
+	seq, err := s.CheckpointSeq(&ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 20 {
+		t.Fatalf("checkpoint covers seq %d, want 20", seq)
+	}
+	for _, r := range recs[20:] {
+		if err := s.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wantGrid bytes.Buffer
+	if err := s.Grid().WriteCSV(&wantGrid); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// NOTE: TruncateThrough deliberately never ran — the WAL still holds
+	// sequences 1..30, the checkpoint covers 1..20.
+
+	w2, err := wal.Open(dir, wal.Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	s2, err := New(crashBounds(), 6, 6, crashAttrs(), Options{Threshold: 0.5, WAL: w2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Restore(bytes.NewReader(ckpt.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Stats().WALSeq; got != 20 {
+		t.Fatalf("restored WALSeq = %d, want 20", got)
+	}
+	n, err := s2.ReplayWAL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("replay applied %d records, want exactly the 10 past the checkpoint", n)
+	}
+	var gotGrid bytes.Buffer
+	if err := s2.Grid().WriteCSV(&gotGrid); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotGrid.Bytes(), wantGrid.Bytes()) {
+		t.Error("restored+replayed aggregate differs from the pre-crash aggregate")
+	}
+	if st := s2.Stats(); st.WALSeq != 30 || st.Accepted != 30 || st.WALReplayed != 10 {
+		t.Errorf("stats after replay = {WALSeq:%d Accepted:%d WALReplayed:%d}, want {30 30 10}", st.WALSeq, st.Accepted, st.WALReplayed)
+	}
+}

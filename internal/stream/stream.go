@@ -30,6 +30,7 @@ import (
 	"spatialrepart/internal/fault"
 	"spatialrepart/internal/grid"
 	"spatialrepart/internal/obs"
+	"spatialrepart/internal/wal"
 )
 
 // Defaults for the retry/backoff and circuit-breaker policy (Options fields
@@ -82,6 +83,16 @@ type Options struct {
 	// points ("stream.recompute", "stream.checkpoint", "stream.restore") —
 	// the chaos-testing hook. Nil costs one branch per point.
 	Fault *fault.Injector
+
+	// WAL, when non-nil, makes ingestion durable: Add appends the record to
+	// the write-ahead log BEFORE applying it to the aggregates, both under
+	// the aggregate lock, so the log sequence and the aggregate state can
+	// never disagree. A failed append returns the error and applies nothing
+	// — the record was not acked and the sender must retry. Recovery is
+	// checkpoint + ReplayWAL: checkpoints embed the WAL sequence they cover,
+	// and replay re-applies only sequences beyond it (exactly-once). The
+	// caller owns the log's lifecycle (Open/Close/TruncateThrough).
+	WAL *wal.Log
 }
 
 // Stats reports the stream's bookkeeping counters.
@@ -112,6 +123,24 @@ type Stats struct {
 	StaleRecords int
 	// Checkpoints counts successful Checkpoint writes.
 	Checkpoints int
+
+	// CheckpointFailures counts failed checkpoint attempts reported via
+	// RecordCheckpointResult; LastCheckpointErr retains the most recent one
+	// (nil again after the next success). LastCheckpointAge is the time
+	// since the last successful attempt (0 = none recorded yet). Without
+	// these, a streaming server whose periodic checkpoints silently rot was
+	// visible only in logs. Process-local: not persisted by Checkpoint.
+	CheckpointFailures int
+	LastCheckpointErr  error
+	LastCheckpointAge  time.Duration
+
+	// WALSeq is the write-ahead-log sequence of the last record applied to
+	// the aggregates — the exactly-once replay cursor every checkpoint
+	// embeds. WALAppended and WALReplayed count records this process wrote
+	// to and re-applied from the WAL; both are process-local, not persisted.
+	WALSeq      uint64
+	WALAppended int
+	WALReplayed int
 
 	// HasView reports whether a servable view currently exists — the
 	// serving layer's readiness signal (false until the first successful
@@ -159,6 +188,15 @@ type Repartitioner struct {
 	sinceLastCheck int
 	stats          Stats
 	brk            *breaker.Breaker
+
+	// walSeq is the WAL sequence of the last record applied to the
+	// aggregates (0 = none). Because Add holds mu across the WAL append and
+	// the aggregate apply, a checkpoint's snapshot of walSeq is always
+	// consistent with the aggregates it captures.
+	walSeq uint64
+	// lastCheckpoint is the time of the last successful checkpoint attempt
+	// recorded via RecordCheckpointResult (zero = none).
+	lastCheckpoint time.Time
 
 	// now is the breaker's clock; a test hook (replaced only before any
 	// concurrency starts).
@@ -235,7 +273,14 @@ func New(bounds grid.Bounds, rows, cols int, attrs []grid.Attribute, opts Option
 }
 
 // Add ingests one record, updating the cell aggregates. Records outside the
-// bounds are counted and dropped.
+// bounds are counted and dropped (they never touch the WAL — a record that
+// mutates no state needs no durability).
+//
+// With Options.WAL set, the record is appended to the log before it is
+// applied, both under the aggregate lock: a successful return means the
+// record is in the WAL (durable per the log's sync policy) AND in the
+// aggregates. A failed append applies nothing and surfaces the error — the
+// record was not acked and the sender must retry after the log is reopened.
 func (s *Repartitioner) Add(rec grid.Record) error {
 	if len(rec.Values) != len(s.attrs) {
 		return fmt.Errorf("stream: record has %d values, want %d", len(rec.Values), len(s.attrs))
@@ -248,7 +293,22 @@ func (s *Repartitioner) Add(rec grid.Record) error {
 		s.opts.Obs.Count("stream.dropped", 1)
 		return nil
 	}
-	idx := r*s.cols + c
+	if s.opts.WAL != nil {
+		seq, err := s.opts.WAL.Append(wal.EncodeRecord(rec))
+		if err != nil {
+			return fmt.Errorf("stream: wal append: %w", err)
+		}
+		s.walSeq = seq
+		s.stats.WALAppended++
+	}
+	s.applyLocked(rec, r*s.cols+c)
+	return nil
+}
+
+// applyLocked folds one in-bounds record into the aggregates. Caller holds
+// s.mu and has resolved the cell index. Shared by Add and ReplayWAL so a
+// replayed record takes exactly the ingestion path it originally took.
+func (s *Repartitioner) applyLocked(rec grid.Record, idx int) {
 	s.counts[idx]++
 	for k, v := range rec.Values {
 		s.sums[idx*len(s.attrs)+k] += v
@@ -265,7 +325,69 @@ func (s *Repartitioner) Add(rec grid.Record) error {
 	s.sinceLastCheck++
 	s.opts.Obs.Count("stream.accepted", 1)
 	s.opts.Obs.SetGauge("stream.lag_records", float64(s.sinceLastCheck))
-	return nil
+}
+
+// ReplayWAL re-applies every WAL record the aggregate state has not yet
+// absorbed: sequences strictly greater than the state's WALSeq cursor (0 on
+// a fresh stream, the embedded sequence after a checkpoint Restore). Replay
+// is exactly-once by that comparison — a record that reached the WAL but
+// whose apply was lost with the crashed process is re-applied, a record the
+// restored checkpoint already covers is skipped — even if the process died
+// between the WAL append and the aggregate apply. Returns the number of
+// records applied. Call it on startup, after any Restore, before serving.
+func (s *Repartitioner) ReplayWAL() (int, error) {
+	w := s.opts.WAL
+	if w == nil {
+		return 0, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	err := w.Replay(s.walSeq, func(seq uint64, payload []byte) error {
+		rec, derr := wal.DecodeRecord(payload)
+		if derr != nil {
+			return derr
+		}
+		if len(rec.Values) != len(s.attrs) {
+			return fmt.Errorf("stream: wal record %d has %d values, want %d (schema changed under a live WAL?)",
+				seq, len(rec.Values), len(s.attrs))
+		}
+		r, c, ok := s.bounds.CellOf(rec.Lat, rec.Lon, s.rows, s.cols)
+		if !ok {
+			// Only appended records replay, and only in-bounds records are
+			// appended; an out-of-bounds replay means the geometry changed
+			// despite the directory stamp.
+			return fmt.Errorf("stream: wal record %d at (%v, %v) is outside the grid bounds", seq, rec.Lat, rec.Lon)
+		}
+		s.applyLocked(rec, r*s.cols+c)
+		s.walSeq = seq
+		n++
+		return nil
+	})
+	s.stats.WALReplayed += n
+	if err != nil {
+		return n, fmt.Errorf("stream: wal replay: %w", err)
+	}
+	return n, nil
+}
+
+// RecordCheckpointResult records the outcome of one full checkpoint attempt
+// — including the I/O the caller performs around Checkpoint (temp file,
+// fsync, rename) that this package cannot see. Failures feed
+// Stats.CheckpointFailures/LastCheckpointErr; a success clears the error and
+// resets the age clock. cmd/repart calls this on every periodic checkpoint
+// so silent durability rot is visible in /stats, not just logs.
+func (s *Repartitioner) RecordCheckpointResult(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		s.stats.CheckpointFailures++
+		s.stats.LastCheckpointErr = err
+		s.opts.Obs.Count("stream.checkpoint_failures", 1)
+		return
+	}
+	s.stats.LastCheckpointErr = nil
+	s.lastCheckpoint = s.now()
 }
 
 // snapshotGrid materializes the current aggregates as a grid.
@@ -554,6 +676,10 @@ func (s *Repartitioner) Stats() Stats {
 	st.StaleRecords = s.sinceLastCheck
 	st.HasView = s.current != nil
 	st.Generation = s.generation
+	st.WALSeq = s.walSeq
+	if !s.lastCheckpoint.IsZero() {
+		st.LastCheckpointAge = s.now().Sub(s.lastCheckpoint)
+	}
 	return st
 }
 
@@ -602,6 +728,13 @@ type Report struct {
 	StaleRecords        int    `json:"stale_records"`
 	Checkpoints         int    `json:"checkpoints"`
 
+	CheckpointFailures  int    `json:"checkpoint_failures"`
+	LastCheckpointErr   string `json:"last_checkpoint_err,omitempty"`
+	LastCheckpointAgeNS int64  `json:"last_checkpoint_age_ns,omitempty"`
+	WALSeq              uint64 `json:"wal_seq,omitempty"`
+	WALAppended         int    `json:"wal_appended,omitempty"`
+	WALReplayed         int    `json:"wal_replayed,omitempty"`
+
 	ServedGroups int     `json:"served_groups"`
 	ServedIFL    float64 `json:"served_ifl"`
 
@@ -634,9 +767,19 @@ func (s *Repartitioner) Report() Report {
 		ConsecutiveFailures: s.brk.Consecutive(),
 		StaleRecords:        s.sinceLastCheck,
 		Checkpoints:         s.stats.Checkpoints,
+		CheckpointFailures:  s.stats.CheckpointFailures,
+		WALSeq:              s.walSeq,
+		WALAppended:         s.stats.WALAppended,
+		WALReplayed:         s.stats.WALReplayed,
 	}
 	if s.stats.LastRecomputeErr != nil {
 		r.LastRecomputeErr = s.stats.LastRecomputeErr.Error()
+	}
+	if s.stats.LastCheckpointErr != nil {
+		r.LastCheckpointErr = s.stats.LastCheckpointErr.Error()
+	}
+	if !s.lastCheckpoint.IsZero() {
+		r.LastCheckpointAgeNS = s.now().Sub(s.lastCheckpoint).Nanoseconds()
 	}
 	if s.current != nil {
 		r.ServedGroups = s.current.NumGroups()

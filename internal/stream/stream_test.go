@@ -3,7 +3,9 @@ package stream
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -464,6 +466,56 @@ func TestModalVoteTieDeterministic(t *testing.T) {
 		m := map[float64]int{7: 3, 2: 3, 5: 3, 9: 1}
 		if got := modalVote(m); got != 2 {
 			t.Fatalf("round %d: modalVote = %v, want smallest tied code 2", i, got)
+		}
+	}
+}
+
+// TestCheckpointHealthSurfaced pins the durability telemetry contract:
+// RecordCheckpointResult feeds Stats (failure count, last error, age of
+// the last success) and the /stats report carries the same fields.
+func TestCheckpointHealthSurfaced(t *testing.T) {
+	s, err := New(testBounds(), 5, 5, testAttrs(), Options{Threshold: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := time.Unix(1_000_000, 0)
+	s.now = func() time.Time { return clock }
+
+	if st := s.Stats(); st.CheckpointFailures != 0 || st.LastCheckpointErr != nil || st.LastCheckpointAge != 0 {
+		t.Fatalf("pristine stats carry checkpoint state: %+v", st)
+	}
+
+	boom := errors.New("disk full")
+	s.RecordCheckpointResult(boom)
+	st := s.Stats()
+	if st.CheckpointFailures != 1 || !errors.Is(st.LastCheckpointErr, boom) {
+		t.Fatalf("after failure: failures=%d err=%v", st.CheckpointFailures, st.LastCheckpointErr)
+	}
+	if st.LastCheckpointAge != 0 {
+		t.Fatalf("no successful checkpoint yet, but age = %v", st.LastCheckpointAge)
+	}
+
+	s.RecordCheckpointResult(nil)
+	clock = clock.Add(42 * time.Second)
+	st = s.Stats()
+	if st.LastCheckpointErr != nil {
+		t.Fatalf("success did not clear the error: %v", st.LastCheckpointErr)
+	}
+	if st.CheckpointFailures != 1 {
+		t.Fatalf("success reset the failure count: %d", st.CheckpointFailures)
+	}
+	if st.LastCheckpointAge != 42*time.Second {
+		t.Fatalf("age = %v, want 42s", st.LastCheckpointAge)
+	}
+
+	s.RecordCheckpointResult(errors.New("later failure"))
+	var buf bytes.Buffer
+	if err := s.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"checkpoint_failures": 2`, `"last_checkpoint_err": "later failure"`, `"last_checkpoint_age_ns": 42000000000`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("report missing %s:\n%s", want, buf.String())
 		}
 	}
 }
